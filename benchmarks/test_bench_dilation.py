@@ -1,0 +1,37 @@
+"""E3 — dilation of the augmented parts vs the O(k_D log n) bound.
+
+Reproduces the paper's main technical claim (Theorem 3.1): parts whose
+induced diameter is large (long paths) are shortened by the sampled edges to
+O(k_D log n), and never made worse.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_dilation_experiment
+
+def test_bench_dilation_lower_bound_instances(run_experiment):
+    table = run_experiment(
+        run_dilation_experiment,
+        sizes=(200, 400, 800),
+        diameters=(4, 6),
+        kind="lower_bound",
+        log_factor=0.25,
+        seed=13,
+    )
+    for induced, dilation, predicted in zip(
+        table.column("induced_diam"), table.column("dilation"), table.column("predicted")
+    ):
+        assert dilation <= induced  # shortcuts never hurt
+        assert dilation <= 4 * predicted  # and meet the bound with margin
+
+
+def test_bench_dilation_hub_paths(run_experiment):
+    table = run_experiment(
+        run_dilation_experiment,
+        sizes=(300,),
+        diameters=(6,),
+        kind="hub",
+        log_factor=0.25,
+        seed=17,
+    )
+    assert all(d >= 0 for d in table.column("dilation"))

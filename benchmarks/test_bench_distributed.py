@@ -1,0 +1,43 @@
+"""E5 — round complexity of the distributed CONGEST construction.
+
+Reproduces the distributed-implementation claim of Section 2: the full
+construction (large-part detection, numbering, local sampling, concurrent
+random-delay BFS, verification) completes in rounds proportional to
+k_D polylog(n), and the constructed shortcut spans every part.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_distributed_experiment
+
+
+def test_bench_distributed_known_diameter(run_experiment):
+    table = run_experiment(
+        run_distributed_experiment,
+        sizes=(60, 120, 240),
+        diameter_value=6,
+        kind="lower_bound",
+        log_factor=0.25,
+        known_diameter=True,
+        seed=19,
+    )
+    assert all(table.column("spanning"))
+    for ratio in table.column("ratio"):
+        assert 0 < ratio < 10
+
+
+def test_bench_distributed_unknown_diameter(run_experiment):
+    table = run_experiment(
+        run_distributed_experiment,
+        sizes=(60, 120),
+        diameter_value=6,
+        kind="lower_bound",
+        log_factor=0.25,
+        known_diameter=False,
+        seed=23,
+    )
+    assert all(table.column("spanning"))
+    # Guessing the diameter costs more rounds but stays within the same
+    # polylog envelope (the guesses are geometrically dominated by the last).
+    for ratio in table.column("ratio"):
+        assert ratio < 20

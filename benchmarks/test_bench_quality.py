@@ -1,0 +1,37 @@
+"""E1 — Kogan-Parter shortcut quality vs the predicted k_D log n curve.
+
+Reproduces the quantitative content of Theorem 1.1: across a geometric
+sweep of n and several diameters, the measured quality (congestion +
+dilation) divided by the predicted ``k_D log n`` stays bounded (the ratio
+column) rather than growing with n.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_quality_experiment
+
+def test_bench_quality_diameter_sweep(run_experiment):
+    table = run_experiment(
+        run_quality_experiment,
+        sizes=(200, 400, 800),
+        diameters=(4, 6, 8),
+        kind="lower_bound",
+        log_factor=0.25,
+        seed=7,
+    )
+    ratios = table.column("ratio")
+    # The measured/predicted ratio stays within a constant band across the
+    # sweep — the finite-size proxy for "quality = O(k_D log n)".
+    assert all(0.0 < r < 8.0 for r in ratios)
+
+
+def test_bench_quality_hub_workload(run_experiment):
+    table = run_experiment(
+        run_quality_experiment,
+        sizes=(200, 400),
+        diameters=(6,),
+        kind="hub",
+        log_factor=0.25,
+        seed=11,
+    )
+    assert all(q > 0 for q in table.column("quality"))

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Regenerate every experiment table of EXPERIMENTS.md.
+
+Runs the full experiment harness (E1-E9, see DESIGN.md §5) and prints the
+result tables.  Pass ``--fast`` for the reduced parameter sets used in CI.
+
+Run with:  python examples/reproduce_experiments.py [--fast] [--experiment E4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis import EXPERIMENT_RUNNERS, run_all_experiments
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="use reduced parameter sets")
+    parser.add_argument(
+        "--experiment",
+        choices=sorted(EXPERIMENT_RUNNERS),
+        help="run a single experiment id instead of all of them",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    start = time.time()
+    if args.experiment:
+        tables = [EXPERIMENT_RUNNERS[args.experiment]()]
+    else:
+        tables = run_all_experiments(fast=args.fast, seed=args.seed)
+    for table in tables:
+        print(table.render())
+        print()
+    print(f"[done in {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

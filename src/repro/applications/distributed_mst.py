@@ -1,0 +1,290 @@
+"""Fully simulated distributed Boruvka MST on the CONGEST simulator.
+
+:mod:`repro.applications.mst` charges MST round costs analytically from the
+shortcut quality (the way Corollary 1.2 composes its bound).  This module
+complements it with a version in which the round-dominant work of every
+Boruvka phase — discovering the minimum-weight outgoing edge (MWOE) of every
+fragment — actually runs on the CONGEST simulator:
+
+1. every node exchanges its fragment id with its neighbours (one round) and
+   computes its local MWOE candidate;
+2. a BFS tree is grown in every fragment simultaneously (random-delay
+   scheduling), either over the fragment's induced edges only
+   (``use_shortcuts=False``) or over the augmented subgraphs of a freshly
+   sampled Kogan-Parter shortcut (``use_shortcuts=True``);
+3. the fragment minimum of the candidates is convergecast to the fragment
+   leader and broadcast back over the same tree.
+
+Only the cheap bookkeeping between phases (reading the chosen MWOEs and
+relabelling the merged fragments) is modelled analytically (charged
+``O(diameter + #fragments)`` rounds per phase, the standard pipelined
+convergecast cost), mirroring the fidelity split of the distributed
+shortcut construction.
+
+The value of this module is the ablation it enables: on graphs whose
+fragments become long and thin, the shortcut-augmented trees keep the
+per-phase simulated rounds near ``~O(k_D)`` while the induced-edges-only
+variant degrades towards the fragment diameter — the mechanism behind
+Corollary 1.2, observed in actual simulated rounds rather than through the
+analytic charge.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..congest.network import Network
+from ..congest.primitives.bfs import DistributedBFS
+from ..congest.primitives.trees import TreeAggregate
+from ..congest.scheduler import RandomDelayScheduler, draw_random_delays
+from ..graphs.components import UnionFind
+from ..graphs.graph import WeightedGraph, edge_key
+from ..shortcuts.kogan_parter import build_kogan_parter_shortcut
+from ..shortcuts.partition import Partition
+
+RandomLike = Union[random.Random, int, None]
+
+#: MWOE candidate used by nodes with no outgoing edge (compares larger than
+#: every real candidate tuple).
+_NO_CANDIDATE = (float("inf"), -1, -1)
+
+
+@dataclass
+class DistributedMSTResult:
+    """Output of the simulated distributed Boruvka run.
+
+    Attributes:
+        edges: the MST edges.
+        weight: total MST weight.
+        phases: number of Boruvka phases.
+        total_rounds: simulated + modelled rounds over all phases.
+        simulated_rounds_per_phase: measured rounds of the MWOE stage.
+        modelled_rounds_per_phase: charged bookkeeping rounds per phase.
+        used_shortcuts: whether the MWOE trees ran over shortcut-augmented
+            subgraphs.
+    """
+
+    edges: list[tuple[int, int]]
+    weight: float
+    phases: int
+    total_rounds: int
+    simulated_rounds_per_phase: list[int] = field(default_factory=list)
+    modelled_rounds_per_phase: list[int] = field(default_factory=list)
+    used_shortcuts: bool = True
+
+
+def _fragment_adjacency(partition: Partition) -> dict[int, set[int]]:
+    """Adjacency restricted to fragment-internal edges."""
+    graph = partition.graph
+    adjacency: dict[int, set[int]] = {}
+    for idx in range(partition.num_parts):
+        part = partition.part(idx)
+        for u in part:
+            adjacency[u] = {v for v in graph.neighbors(u) if v in part}
+    return adjacency
+
+
+def _mwoe_candidates(graph: WeightedGraph, uf: UnionFind) -> dict[int, tuple[float, int, int]]:
+    """Each node's lightest incident outgoing edge as a (w, u, v) tuple."""
+    candidates: dict[int, tuple[float, int, int]] = {}
+    for u in range(graph.num_vertices):
+        best = _NO_CANDIDATE
+        fu = uf.find(u)
+        for v in graph.neighbors(u):
+            if uf.find(v) == fu:
+                continue
+            w = graph.weight(u, v)
+            key = (w,) + edge_key(u, v)
+            if key < best:
+                best = key
+        candidates[u] = best
+    return candidates
+
+
+def distributed_boruvka_mst(
+    graph: WeightedGraph,
+    *,
+    use_shortcuts: bool = True,
+    diameter_value: Optional[int] = None,
+    log_factor: float = 0.25,
+    rng: RandomLike = None,
+    max_rounds_per_phase: int = 100_000,
+    max_phases: Optional[int] = None,
+) -> DistributedMSTResult:
+    """Run Boruvka with the MWOE stage simulated on the CONGEST network.
+
+    Args:
+        graph: a connected weighted graph.
+        use_shortcuts: grow the per-fragment MWOE trees over Kogan-Parter
+            augmented subgraphs (``True``) or over fragment-internal edges
+            only (``False`` — the no-shortcut baseline).
+        diameter_value: graph diameter for the shortcut parameters (measured
+            when omitted and ``use_shortcuts`` is set).
+        log_factor: sampling-probability factor of the per-phase shortcut.
+        rng: randomness for sampling and scheduler delays.
+        max_rounds_per_phase: safety cap per simulated stage.
+        max_phases: phase cap (default ``ceil(log2 n) + 2``).
+
+    Returns:
+        A :class:`DistributedMSTResult`; the edge set equals the true MST.
+    """
+    n = graph.num_vertices
+    r = rng if isinstance(rng, random.Random) else random.Random(rng)
+    if max_phases is None:
+        max_phases = math.ceil(math.log2(max(n, 2))) + 2
+    if diameter_value is None and use_shortcuts:
+        from ..graphs.traversal import diameter as graph_diameter
+
+        measured = graph_diameter(graph)
+        if measured == float("inf"):
+            raise ValueError("graph must be connected")
+        diameter_value = int(measured)
+
+    uf = UnionFind(n)
+    mst_edges: set[tuple[int, int]] = set()
+    simulated_rounds: list[int] = []
+    modelled_rounds: list[int] = []
+
+    for _phase in range(max_phases):
+        fragments = uf.groups()
+        if len(fragments) <= 1:
+            break
+        partition = Partition(graph, fragments, validate=False)
+
+        if use_shortcuts:
+            shortcut = build_kogan_parter_shortcut(
+                graph,
+                partition,
+                diameter_value=diameter_value,
+                log_factor=log_factor,
+                rng=r,
+            ).shortcut
+            adjacency_of = {
+                idx: shortcut.augmented_adjacency(idx) for idx in range(partition.num_parts)
+            }
+        else:
+            internal = _fragment_adjacency(partition)
+            adjacency_of = {
+                idx: {u: {v for v in internal.get(u, set())} for u in partition.part(idx)}
+                for idx in range(partition.num_parts)
+            }
+
+        candidates = _mwoe_candidates(graph, uf)
+        phase_rounds = _simulate_mwoe_phase(
+            graph,
+            partition,
+            adjacency_of,
+            candidates,
+            rng=r,
+            max_rounds=max_rounds_per_phase,
+        )
+        simulated_rounds.append(phase_rounds["simulated"])
+        modelled_rounds.append(phase_rounds["modelled"])
+
+        winners = phase_rounds["winners"]
+        if not winners:
+            break
+        merged_any = False
+        for value in winners.values():
+            if value == _NO_CANDIDATE:
+                continue
+            _, u, v = value
+            if uf.union(u, v):
+                merged_any = True
+                mst_edges.add(edge_key(u, v))
+        if not merged_any:
+            break
+
+    weight = graph.total_weight(mst_edges)
+    return DistributedMSTResult(
+        edges=sorted(mst_edges),
+        weight=weight,
+        phases=len(simulated_rounds),
+        total_rounds=sum(simulated_rounds) + sum(modelled_rounds),
+        simulated_rounds_per_phase=simulated_rounds,
+        modelled_rounds_per_phase=modelled_rounds,
+        used_shortcuts=use_shortcuts,
+    )
+
+
+def _simulate_mwoe_phase(
+    graph: WeightedGraph,
+    partition: Partition,
+    adjacency_of: dict[int, dict[int, set[int]]],
+    candidates: dict[int, tuple[float, int, int]],
+    *,
+    rng: random.Random,
+    max_rounds: int,
+) -> dict:
+    """Simulate one phase's MWOE selection; return rounds and per-fragment winners."""
+    network = Network(graph)
+    network.reset()
+
+    # Local candidate values: each fragment member holds its own candidate
+    # under a per-fragment key so that relay nodes of augmented subgraphs do
+    # not contribute.
+    for idx in range(partition.num_parts):
+        for v in partition.part(idx):
+            network.node(v).state[f"cand{idx}"] = candidates[v]
+
+    # Stage 1 (1 round, modelled as part of the simulated cost below): the
+    # fragment-id exchange that lets nodes compute their candidates locally.
+    id_exchange_rounds = 1
+
+    # Stage 2: concurrent BFS over each fragment's (augmented) adjacency.
+    bfs_algorithms = []
+    for order, idx in enumerate(range(partition.num_parts)):
+        bfs_algorithms.append(
+            DistributedBFS(
+                {partition.leader(idx)},
+                allowed_adjacency=adjacency_of[idx],
+                prefix=f"mst{idx}_",
+                algorithm_id=order,
+            )
+        )
+    max_delay = max(1, partition.num_parts // 4)
+    delays = draw_random_delays(len(bfs_algorithms), max_delay, rng)
+    bfs_metrics = network.run(
+        RandomDelayScheduler(bfs_algorithms, delays), reset=False, max_rounds=max_rounds
+    )
+
+    # Stage 3: concurrent min-convergecast of the candidates over the trees.
+    agg_algorithms = []
+    for order, idx in enumerate(range(partition.num_parts)):
+        agg_algorithms.append(
+            TreeAggregate(
+                "min",
+                value_key=f"cand{idx}",
+                tree_prefix=f"mst{idx}_",
+                prefix=f"mwoe{idx}_",
+                broadcast_result=True,
+                algorithm_id=order,
+                identity=_NO_CANDIDATE,
+            )
+        )
+    delays = draw_random_delays(len(agg_algorithms), max_delay, rng)
+    agg_metrics = network.run(
+        RandomDelayScheduler(agg_algorithms, delays), reset=False, max_rounds=max_rounds
+    )
+
+    winners: dict[int, tuple[float, int, int]] = {}
+    for idx in range(partition.num_parts):
+        leader = partition.leader(idx)
+        value = network.node(leader).state.get(f"mwoe{idx}_result")
+        if value is not None:
+            winners[idx] = tuple(value)
+
+    # Merge bookkeeping (fragment relabelling) modelled as a pipelined
+    # broadcast: graph diameter + number of fragments.
+    from ..graphs.traversal import diameter_lower_bound_double_sweep
+
+    modelled = diameter_lower_bound_double_sweep(graph) + partition.num_parts
+
+    return {
+        "simulated": id_exchange_rounds + bfs_metrics.rounds + agg_metrics.rounds,
+        "modelled": modelled,
+        "winners": winners,
+    }

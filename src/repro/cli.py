@@ -1,0 +1,190 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the most common workflows without
+writing a script:
+
+* ``info``        — print the paper's parameter values (k_D, N, p, bounds)
+                    for a given (n, D);
+* ``shortcut``    — generate a workload, build a shortcut with a chosen
+                    engine and print its quality report (optionally save it
+                    as JSON);
+* ``mst``         — run Boruvka-over-shortcuts on a generated weighted
+                    workload and report rounds / weight vs Kruskal;
+* ``experiments`` — run one or all of the EXPERIMENTS.md tables.
+
+Every command takes ``--seed`` and is deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from . import io as repro_io
+from .analysis.experiments import EXPERIMENT_RUNNERS, make_workload, run_all_experiments
+from .applications.aggregation import estimate_aggregation_rounds
+from .applications.mst import boruvka_mst, default_shortcut_factory, kruskal_mst
+from .graphs.generators import with_random_weights
+from .params import (
+    elkin_lower_bound,
+    ghaffari_haeupler_quality,
+    k_d_value,
+    num_large_parts,
+    predicted_congestion,
+    predicted_dilation,
+    predicted_quality,
+    sampling_probability,
+)
+from .shortcuts.baselines import (
+    build_empty_shortcut,
+    build_ghaffari_haeupler_shortcut,
+    build_kitamura_style_shortcut,
+    build_naive_shortcut,
+)
+from .shortcuts.kogan_parter import build_kogan_parter_shortcut
+
+#: Shortcut engines selectable from the command line.
+ENGINES = ("kogan-parter", "kitamura", "ghaffari-haeupler", "naive", "empty")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Low-congestion shortcuts in constant diameter graphs (PODC 2021) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="print parameter values for (n, D)")
+    info.add_argument("--n", type=int, required=True)
+    info.add_argument("--diameter", "-D", type=int, required=True)
+
+    shortcut = sub.add_parser("shortcut", help="build a shortcut on a generated workload")
+    shortcut.add_argument("--n", type=int, default=400)
+    shortcut.add_argument("--diameter", "-D", type=int, default=6)
+    shortcut.add_argument("--workload", choices=("hub", "lower_bound", "cluster"), default="lower_bound")
+    shortcut.add_argument("--engine", choices=ENGINES, default="kogan-parter")
+    shortcut.add_argument("--log-factor", type=float, default=0.25)
+    shortcut.add_argument("--seed", type=int, default=0)
+    shortcut.add_argument("--save", help="write the shortcut (with its graph) to this JSON file")
+    shortcut.add_argument("--exact-dilation", action="store_true",
+                          help="measure dilation exactly (slower)")
+
+    mst = sub.add_parser("mst", help="run Boruvka-over-shortcuts on a generated workload")
+    mst.add_argument("--n", type=int, default=300)
+    mst.add_argument("--diameter", "-D", type=int, default=6)
+    mst.add_argument("--workload", choices=("hub", "lower_bound", "cluster"), default="hub")
+    mst.add_argument("--log-factor", type=float, default=0.25)
+    mst.add_argument("--seed", type=int, default=0)
+
+    experiments = sub.add_parser("experiments", help="run EXPERIMENTS.md tables")
+    experiments.add_argument("--experiment", choices=sorted(EXPERIMENT_RUNNERS),
+                             help="run a single experiment (default: all, fast settings)")
+    experiments.add_argument("--full", action="store_true",
+                             help="use the full (slow) parameter sets when running all")
+    experiments.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    n, d = args.n, args.diameter
+    print(f"n = {n}, D = {d}")
+    print(f"k_D = n^((D-2)/(2D-2))          : {k_d_value(n, d):.3f}")
+    print(f"N = ceil(n / k_D)               : {num_large_parts(n, d)}")
+    print(f"sampling probability p          : {sampling_probability(n, d):.6f}")
+    print(f"predicted quality  k_D log n    : {predicted_quality(n, d):.1f}")
+    print(f"predicted congestion D k_D log n: {predicted_congestion(n, d):.1f}")
+    print(f"predicted dilation  k_D log n   : {predicted_dilation(n, d):.1f}")
+    print(f"Elkin lower bound  k_D          : {elkin_lower_bound(n, d):.3f}")
+    print(f"Ghaffari-Haeupler  sqrt(n) + D  : {ghaffari_haeupler_quality(n, d):.1f}")
+    return 0
+
+
+def _build_engine_shortcut(engine: str, graph, partition, diameter_value, log_factor, seed):
+    if engine == "kogan-parter":
+        return build_kogan_parter_shortcut(
+            graph, partition, diameter_value=diameter_value,
+            log_factor=log_factor, rng=seed,
+        ).shortcut
+    if engine == "kitamura":
+        return build_kitamura_style_shortcut(
+            graph, partition, diameter_value=diameter_value,
+            log_factor=log_factor, rng=seed,
+        ).shortcut
+    if engine == "ghaffari-haeupler":
+        return build_ghaffari_haeupler_shortcut(graph, partition)
+    if engine == "naive":
+        return build_naive_shortcut(graph, partition)
+    if engine == "empty":
+        return build_empty_shortcut(graph, partition)
+    raise ValueError(f"unknown engine {engine!r}")
+
+
+def _command_shortcut(args: argparse.Namespace) -> int:
+    workload = make_workload(args.workload, args.n, args.diameter, seed=args.seed)
+    shortcut = _build_engine_shortcut(
+        args.engine, workload.graph, workload.partition, workload.diameter,
+        args.log_factor, args.seed,
+    )
+    report = shortcut.quality_report(exact_dilation=args.exact_dilation)
+    n = workload.graph.num_vertices
+    print(f"workload        : {workload.name} (n={n}, m={workload.graph.num_edges}, D={workload.diameter})")
+    print(f"parts           : {workload.partition.num_parts}")
+    print(f"engine          : {args.engine}")
+    print(f"congestion      : {report.congestion}")
+    print(f"dilation        : {report.dilation}")
+    print(f"quality         : {report.quality}")
+    print(f"shortcut edges  : {report.num_shortcut_edges}")
+    print(f"predicted ~k_D log n : {args.log_factor * predicted_quality(n, workload.diameter):.1f}")
+    print(f"Elkin lower bound    : {elkin_lower_bound(n, workload.diameter):.1f}")
+    if args.save:
+        repro_io.save_json(shortcut, args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def _command_mst(args: argparse.Namespace) -> int:
+    workload = make_workload(args.workload, args.n, args.diameter, seed=args.seed)
+    weighted = with_random_weights(workload.graph, rng=args.seed + 1)
+    factory = default_shortcut_factory(
+        diameter_value=workload.diameter, log_factor=args.log_factor, rng=args.seed
+    )
+    result = boruvka_mst(weighted, shortcut_factory=factory)
+    _, kruskal_weight = kruskal_mst(weighted)
+    print(f"workload        : {workload.name} (n={weighted.num_vertices}, D={workload.diameter})")
+    print(f"MST weight      : {result.weight:.2f}")
+    print(f"Kruskal weight  : {kruskal_weight:.2f}")
+    print(f"weights match   : {abs(result.weight - kruskal_weight) < 1e-6}")
+    print(f"phases          : {result.phases}")
+    print(f"charged rounds  : {result.total_rounds}")
+    print(f"rounds per phase: {result.rounds_per_phase}")
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    if args.experiment:
+        tables = [EXPERIMENT_RUNNERS[args.experiment]()]
+    else:
+        tables = run_all_experiments(fast=not args.full, seed=args.seed)
+    for table in tables:
+        print(table.render())
+        print()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": _command_info,
+        "shortcut": _command_shortcut,
+        "mst": _command_mst,
+        "experiments": _command_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""A synchronous CONGEST-model simulator.
+
+The simulator executes distributed algorithms written against a strictly
+local node API (:class:`NodeContext`) on an arbitrary communication graph,
+enforcing the CONGEST bandwidth of one O(log n)-bit message per edge per
+direction per round.  Excess traffic is queued per link, so congestion
+manifests as extra rounds — the quantity the paper's shortcut quality bounds
+are designed to control.  Run metrics report rounds, message counts and
+per-edge congestion.
+"""
+
+from .algorithm import ComposedAlgorithm, DistributedAlgorithm
+from .message import (
+    BandwidthExceededError,
+    LinkQueue,
+    MAX_PAYLOAD_FIELDS,
+    Message,
+    check_payload,
+)
+from .network import Network, RoundLimitExceeded, RunMetrics
+from .node import NodeContext
+from .scheduler import RandomDelayScheduler, draw_random_delays
+
+__all__ = [
+    "ComposedAlgorithm",
+    "DistributedAlgorithm",
+    "BandwidthExceededError",
+    "LinkQueue",
+    "MAX_PAYLOAD_FIELDS",
+    "Message",
+    "check_payload",
+    "Network",
+    "RoundLimitExceeded",
+    "RunMetrics",
+    "NodeContext",
+    "RandomDelayScheduler",
+    "draw_random_delays",
+]

@@ -1,0 +1,94 @@
+"""The distributed-algorithm protocol.
+
+A :class:`DistributedAlgorithm` describes what every node does: how it
+initializes, and how it reacts each round to the messages received in that
+round.  The same instance is shared by all nodes (it must therefore be
+stateless with respect to individual nodes — all per-node state lives in
+``NodeContext.state``), which mirrors the "every processor runs the same
+code" convention of the CONGEST model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional
+
+from .message import Message
+from .node import NodeContext
+
+
+class DistributedAlgorithm(ABC):
+    """Base class for synchronous CONGEST algorithms.
+
+    Subclasses implement :meth:`initialize` and :meth:`on_round`.  Per-node
+    state must be kept in ``node.state`` (a dict); the algorithm object
+    itself may hold only *input* data that in the real model would be known
+    to the relevant nodes in advance (e.g. the id of the BFS source, part
+    membership, sampling probabilities).
+    """
+
+    #: Short name used in message tags and metrics reports.
+    name: str = "algorithm"
+
+    @abstractmethod
+    def initialize(self, node: NodeContext) -> None:
+        """Set up a node's local state before round 1 (may send messages)."""
+
+    @abstractmethod
+    def on_round(self, node: NodeContext, messages: list[Message]) -> None:
+        """Process one synchronous round at one node.
+
+        Args:
+            node: the node's local context.
+            messages: the messages delivered to this node this round (sent in
+                an earlier round, possibly delayed by link congestion).
+        """
+
+    def finished(self, node: NodeContext) -> bool:
+        """Return ``True`` when the node considers the algorithm complete.
+
+        The default is the node's ``halted`` flag; algorithms with a natural
+        output predicate may override this.
+        """
+        return node.halted
+
+
+class ComposedAlgorithm(DistributedAlgorithm):
+    """Run several algorithms one after another at every node.
+
+    Each stage runs until the network is globally quiescent for that stage,
+    then the next stage starts (the engine handles the hand-off).  State of
+    earlier stages remains in ``node.state`` so later stages can read their
+    predecessors' outputs — this is how the distributed shortcut construction
+    chains "detect large parts", "number parts" and "grow BFS trees".
+    """
+
+    name = "composed"
+
+    def __init__(self, stages: list[DistributedAlgorithm]) -> None:
+        if not stages:
+            raise ValueError("ComposedAlgorithm needs at least one stage")
+        self.stages = stages
+
+    def initialize(self, node: NodeContext) -> None:
+        node.state["__stage"] = 0
+        self.stages[0].initialize(node)
+
+    def on_round(self, node: NodeContext, messages: list[Message]) -> None:
+        stage_idx = node.state["__stage"]
+        self.stages[stage_idx].on_round(node, messages)
+
+    def finished(self, node: NodeContext) -> bool:
+        stage_idx = node.state["__stage"]
+        return stage_idx >= len(self.stages) - 1 and self.stages[-1].finished(node)
+
+    # Called by the engine when a stage is globally quiescent.
+    def advance_stage(self, node: NodeContext) -> bool:
+        """Move this node to the next stage; returns False if already at the last."""
+        stage_idx = node.state["__stage"]
+        if stage_idx >= len(self.stages) - 1:
+            return False
+        node.state["__stage"] = stage_idx + 1
+        node.wake()
+        self.stages[stage_idx + 1].initialize(node)
+        return True

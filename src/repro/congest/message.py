@@ -1,0 +1,123 @@
+"""Messages and bandwidth accounting for the CONGEST simulator.
+
+In the CONGEST model each node may send one ``O(log n)``-bit message to each
+neighbour per synchronous round.  The simulator models this by treating one
+:class:`Message` as one bandwidth unit on a *directed link* ``(sender,
+receiver)``; the :class:`LinkQueue` enforces the per-round capacity by
+queueing excess messages, so that congestion automatically translates into
+extra rounds exactly as it would on a real network.
+
+Payloads are required to be small hashable tuples of integers/floats/strings
+(checked loosely) so that a message plausibly fits in ``O(log n)`` bits; the
+check is advisory and exists mostly to catch algorithms that accidentally
+ship whole data structures in one message.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class BandwidthExceededError(RuntimeError):
+    """Raised in strict mode when a link must carry more than its capacity."""
+
+
+#: Maximum number of scalar fields allowed in a payload before a warning-level
+#: error is raised.  Each field is assumed to be O(log n) bits, so a payload
+#: with a handful of fields is still O(log n) up to constants.
+MAX_PAYLOAD_FIELDS = 8
+
+
+def check_payload(payload: Any) -> None:
+    """Validate that ``payload`` is a plausibly O(log n)-bit message payload.
+
+    Accepted payloads are ``None``, scalars (int/float/str/bool) and flat
+    tuples of at most :data:`MAX_PAYLOAD_FIELDS` scalars.
+
+    Raises:
+        ValueError: for payloads that would not fit the CONGEST bandwidth.
+    """
+    if payload is None or isinstance(payload, (int, float, str, bool)):
+        return
+    if isinstance(payload, tuple):
+        if len(payload) > MAX_PAYLOAD_FIELDS:
+            raise ValueError(
+                f"payload tuple has {len(payload)} fields; CONGEST messages must be O(log n) bits"
+            )
+        for item in payload:
+            if not (item is None or isinstance(item, (int, float, str, bool))):
+                raise ValueError(f"payload field {item!r} is not a scalar")
+        return
+    raise ValueError(f"payload {payload!r} is not a valid CONGEST message payload")
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single CONGEST message.
+
+    Attributes:
+        sender: id of the sending node.
+        receiver: id of the receiving node (must be a neighbour of sender).
+        tag: short string identifying the (sub-)algorithm or message type.
+        payload: small scalar or tuple payload (see :func:`check_payload`).
+        algorithm_id: identifier of the sub-algorithm when several run
+            concurrently under the random-delay scheduler; 0 otherwise.
+    """
+
+    sender: int
+    receiver: int
+    tag: str
+    payload: Any = None
+    algorithm_id: int = 0
+
+
+@dataclass
+class LinkQueue:
+    """FIFO queue of messages waiting on one directed link.
+
+    Attributes:
+        capacity_per_round: how many messages may be delivered per round
+            (1 in the plain CONGEST model).
+        pending: messages accepted but not yet delivered.
+        delivered_count: total messages ever delivered over this link.
+        max_backlog: largest backlog observed (a direct measure of link
+            congestion).
+    """
+
+    capacity_per_round: int = 1
+    pending: deque[Message] = field(default_factory=deque)
+    delivered_count: int = 0
+    max_backlog: int = 0
+
+    def enqueue(self, message: Message, *, strict: bool = False) -> None:
+        """Accept a message for later delivery.
+
+        Args:
+            strict: if ``True``, raise :class:`BandwidthExceededError` as soon
+                as the backlog exceeds the per-round capacity instead of
+                queueing (useful for asserting that an algorithm respects its
+                claimed congestion bound).
+        """
+        if strict and len(self.pending) >= self.capacity_per_round:
+            raise BandwidthExceededError(
+                f"link {message.sender}->{message.receiver} exceeded capacity "
+                f"{self.capacity_per_round} per round"
+            )
+        self.pending.append(message)
+        if len(self.pending) > self.max_backlog:
+            self.max_backlog = len(self.pending)
+
+    def drain(self) -> list[Message]:
+        """Remove and return up to ``capacity_per_round`` messages for delivery."""
+        batch: list[Message] = []
+        for _ in range(min(self.capacity_per_round, len(self.pending))):
+            batch.append(self.pending.popleft())
+        self.delivered_count += len(batch)
+        return batch
+
+    @property
+    def backlog(self) -> int:
+        """Number of messages currently waiting on this link."""
+        return len(self.pending)

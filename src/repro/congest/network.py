@@ -1,0 +1,202 @@
+"""The synchronous CONGEST round engine.
+
+The :class:`Network` wraps a :class:`~repro.graphs.graph.Graph` and executes
+a :class:`~repro.congest.algorithm.DistributedAlgorithm` in synchronous
+rounds:
+
+1. every directed link delivers up to ``bandwidth`` queued messages;
+2. every node that is active (not halted, or just received a message) runs
+   its ``on_round`` handler;
+3. the messages the handlers produced are enqueued on their links for
+   delivery in the next round.
+
+Messages beyond a link's per-round bandwidth are *queued*, so an algorithm
+that overloads a link simply takes more rounds — exactly the penalty the
+CONGEST model charges.  The engine records the metrics the paper's bounds
+talk about: total rounds to quiescence, total messages, the maximum backlog
+observed on any link (a per-link congestion proxy) and per-edge message
+counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..graphs.graph import Graph, edge_key
+from .algorithm import ComposedAlgorithm, DistributedAlgorithm
+from .message import LinkQueue, Message
+from .node import NodeContext
+
+
+class RoundLimitExceeded(RuntimeError):
+    """Raised when an algorithm fails to reach quiescence within ``max_rounds``."""
+
+
+@dataclass
+class RunMetrics:
+    """Metrics of one simulation run.
+
+    Attributes:
+        rounds: number of synchronous rounds until global quiescence.
+        messages_sent: total messages handed to the network by nodes.
+        messages_delivered: total messages delivered to receivers.
+        max_link_backlog: largest queue length observed on any directed link.
+        per_edge_messages: messages that crossed each undirected edge (both
+            directions summed), keyed by canonical edge tuple.
+        terminated: ``True`` if the run reached quiescence (as opposed to
+            being stopped by ``max_rounds`` with ``raise_on_limit=False``).
+    """
+
+    rounds: int = 0
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    max_link_backlog: int = 0
+    per_edge_messages: dict[tuple[int, int], int] = field(default_factory=dict)
+    terminated: bool = False
+
+    @property
+    def max_edge_messages(self) -> int:
+        """Largest number of messages carried by any single undirected edge."""
+        return max(self.per_edge_messages.values(), default=0)
+
+
+class Network:
+    """A CONGEST network over a given communication graph.
+
+    Args:
+        graph: the communication topology.
+        bandwidth: messages a directed link may deliver per round (1 for the
+            standard model; larger values model CONGEST with B-bit messages,
+            used by a few tests to isolate algorithmic from congestion
+            effects).
+        strict_bandwidth: if ``True``, overloading a link raises
+            :class:`~repro.congest.message.BandwidthExceededError` instead of
+            queueing.
+    """
+
+    def __init__(self, graph: Graph, *, bandwidth: int = 1, strict_bandwidth: bool = False) -> None:
+        if bandwidth < 1:
+            raise ValueError("bandwidth must be at least 1")
+        self.graph = graph
+        self.bandwidth = bandwidth
+        self.strict_bandwidth = strict_bandwidth
+        self.nodes: dict[int, NodeContext] = {}
+        self._links: dict[tuple[int, int], LinkQueue] = {}
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Reset all node state and link queues (a fresh network)."""
+        self.nodes = {
+            v: NodeContext(node_id=v, neighbors=tuple(sorted(self.graph.neighbors(v))))
+            for v in self.graph.vertices()
+        }
+        self._links = {}
+        for u, v in self.graph.edges():
+            self._links[(u, v)] = LinkQueue(capacity_per_round=self.bandwidth)
+            self._links[(v, u)] = LinkQueue(capacity_per_round=self.bandwidth)
+
+    def node(self, v: int) -> NodeContext:
+        """Return the :class:`NodeContext` of node ``v`` (for inspecting outputs)."""
+        return self.nodes[v]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        algorithm: DistributedAlgorithm,
+        *,
+        max_rounds: int = 100_000,
+        raise_on_limit: bool = True,
+        reset: bool = True,
+    ) -> RunMetrics:
+        """Execute ``algorithm`` until global quiescence.
+
+        Global quiescence means every node reports ``finished`` and no
+        message is queued on any link.  For :class:`ComposedAlgorithm` the
+        engine advances all nodes to the next stage whenever the current
+        stage is quiescent.
+
+        Args:
+            algorithm: the algorithm to run.
+            max_rounds: safety limit on the number of rounds.
+            raise_on_limit: raise :class:`RoundLimitExceeded` when the limit
+                is hit (otherwise return metrics with ``terminated=False``).
+            reset: start from a clean network state (set to ``False`` to run
+                a follow-up algorithm that reads earlier algorithms' state).
+
+        Returns:
+            The :class:`RunMetrics` of the run.
+        """
+        if reset:
+            self.reset()
+        metrics = RunMetrics()
+        for ctx in self.nodes.values():
+            algorithm.initialize(ctx)
+        self._collect_outgoing(metrics)
+
+        while metrics.rounds < max_rounds:
+            if self._is_quiescent(algorithm):
+                if isinstance(algorithm, ComposedAlgorithm):
+                    advanced = False
+                    for ctx in self.nodes.values():
+                        advanced = algorithm.advance_stage(ctx) or advanced
+                    if advanced:
+                        self._collect_outgoing(metrics)
+                        continue
+                metrics.terminated = True
+                return metrics
+
+            metrics.rounds += 1
+            inboxes = self._deliver(metrics)
+            for v, ctx in self.nodes.items():
+                incoming = inboxes.get(v, [])
+                if incoming:
+                    ctx.wake()
+                if incoming or not ctx.halted:
+                    algorithm.on_round(ctx, incoming)
+            self._collect_outgoing(metrics)
+
+        if raise_on_limit:
+            raise RoundLimitExceeded(
+                f"algorithm {algorithm.name!r} did not terminate within {max_rounds} rounds"
+            )
+        metrics.terminated = False
+        return metrics
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _deliver(self, metrics: RunMetrics) -> dict[int, list[Message]]:
+        inboxes: dict[int, list[Message]] = {}
+        for (u, v), queue in self._links.items():
+            if not queue.pending:
+                continue
+            for message in queue.drain():
+                inboxes.setdefault(v, []).append(message)
+                metrics.messages_delivered += 1
+                key = edge_key(u, v)
+                metrics.per_edge_messages[key] = metrics.per_edge_messages.get(key, 0) + 1
+            if queue.max_backlog > metrics.max_link_backlog:
+                metrics.max_link_backlog = queue.max_backlog
+        return inboxes
+
+    def _collect_outgoing(self, metrics: RunMetrics) -> None:
+        for ctx in self.nodes.values():
+            for message in ctx._collect_outbox():
+                link = self._links.get((message.sender, message.receiver))
+                if link is None:
+                    raise ValueError(
+                        f"message {message} uses non-existent link "
+                        f"({message.sender}, {message.receiver})"
+                    )
+                link.enqueue(message, strict=self.strict_bandwidth)
+                metrics.messages_sent += 1
+
+    def _is_quiescent(self, algorithm: DistributedAlgorithm) -> bool:
+        # Quiescence is a structural property: no message is in flight and
+        # every node has locally halted.  (Algorithms signal "nothing left to
+        # do" by halting; halted nodes are woken again by incoming messages.)
+        if any(link.pending for link in self._links.values()):
+            return False
+        return all(ctx.halted for ctx in self.nodes.values())

@@ -1,0 +1,102 @@
+"""Per-node state and the API exposed to distributed algorithms.
+
+A distributed algorithm in the CONGEST model is written from the point of
+view of a single node: in each round it receives the messages sent to it in
+the previous round, updates its local state, and sends at most one message
+per incident edge.  The :class:`NodeContext` object is that point of view —
+it exposes the node id, its neighbour list, a local state dictionary and a
+``send`` method, and deliberately nothing else (in particular no access to
+the global graph), so algorithms written against it are honest CONGEST
+algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .message import Message, check_payload
+
+
+@dataclass
+class NodeContext:
+    """The local view a node has of itself during a simulation.
+
+    Attributes:
+        node_id: this node's id.
+        neighbors: ids of adjacent nodes (sorted, fixed for the run).
+        state: per-node scratch space for the algorithm; survives across
+            rounds and is inspected by drivers after the run.
+        halted: set by :meth:`halt` when the node has locally terminated.
+    """
+
+    node_id: int
+    neighbors: tuple[int, ...]
+    state: dict[str, Any] = field(default_factory=dict)
+    halted: bool = False
+    _outbox: list[Message] = field(default_factory=list)
+    _sent_this_round: set[tuple[int, int]] = field(default_factory=set)
+
+    def send(self, neighbor: int, tag: str, payload: Any = None, *, algorithm_id: int = 0) -> None:
+        """Queue a message to ``neighbor`` for delivery next round.
+
+        A node may send at most one message per neighbour per round *per
+        algorithm id* (the random-delay scheduler multiplexes several
+        sub-algorithms over one link; the link queue then meters them out).
+
+        Raises:
+            ValueError: if ``neighbor`` is not adjacent, the payload is too
+                large, or a second message to the same neighbour is attempted
+                for the same algorithm id in one round.
+        """
+        if neighbor not in self._neighbor_set():
+            raise ValueError(f"node {self.node_id} has no neighbor {neighbor}")
+        check_payload(payload)
+        key = (neighbor, algorithm_id)
+        if key in self._sent_this_round:
+            raise ValueError(
+                f"node {self.node_id} already sent to {neighbor} for algorithm {algorithm_id} this round"
+            )
+        self._sent_this_round.add(key)
+        self._outbox.append(
+            Message(
+                sender=self.node_id,
+                receiver=neighbor,
+                tag=tag,
+                payload=payload,
+                algorithm_id=algorithm_id,
+            )
+        )
+
+    def broadcast(self, tag: str, payload: Any = None, *, algorithm_id: int = 0) -> None:
+        """Send the same message to every neighbour."""
+        for v in self.neighbors:
+            self.send(v, tag, payload, algorithm_id=algorithm_id)
+
+    def halt(self) -> None:
+        """Mark this node as locally terminated.
+
+        A halted node still receives messages (and is woken up again if any
+        arrive), matching the usual convention that termination is only
+        final when the whole system is quiescent.
+        """
+        self.halted = True
+
+    def wake(self) -> None:
+        """Clear the halted flag (called by the engine on message arrival)."""
+        self.halted = False
+
+    # ------------------------------------------------------------------
+    # engine-side helpers (not part of the algorithm-facing API)
+    # ------------------------------------------------------------------
+    def _collect_outbox(self) -> list[Message]:
+        out, self._outbox = self._outbox, []
+        self._sent_this_round.clear()
+        return out
+
+    def _neighbor_set(self) -> set[int]:
+        cached = self.state.get("__neighbors_set")
+        if cached is None:
+            cached = set(self.neighbors)
+            self.state["__neighbors_set"] = cached
+        return cached

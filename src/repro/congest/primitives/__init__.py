@@ -1,0 +1,19 @@
+"""Reusable CONGEST building blocks: BFS, leader election, tree aggregation,
+diameter estimation and their read-back helpers."""
+
+from .bfs import DistributedBFS, extract_bfs_tree
+from .diameter import make_diameter_estimation, read_diameter_estimate
+from .leader import FloodMax, read_leaders
+from .trees import AGGREGATE_OPS, TreeAggregate, read_aggregate
+
+__all__ = [
+    "DistributedBFS",
+    "extract_bfs_tree",
+    "FloodMax",
+    "read_leaders",
+    "TreeAggregate",
+    "read_aggregate",
+    "AGGREGATE_OPS",
+    "make_diameter_estimation",
+    "read_diameter_estimate",
+]

@@ -1,0 +1,128 @@
+"""Distributed BFS (full and truncated) in the CONGEST model.
+
+BFS is the central primitive of the distributed shortcut construction: it is
+used to detect large parts (truncated BFS of depth ``k_D`` inside each
+``G[S_i]``), to build the trees along which part-wise aggregation runs, and
+— under the random-delay scheduler — to grow all the augmented-subgraph
+trees ``G[S_i] ∪ H_i`` in parallel.
+
+The implementation is a distance-relaxation flood (unweighted Bellman-Ford):
+a node adopts the smallest ``dist + 1`` it has heard and re-announces
+whenever its distance improves.  With unit link bandwidth and no competing
+traffic this completes in ``depth`` rounds and sends O(1) messages per edge;
+under congestion (several BFS instances sharing a link) the link queues
+stretch the round count, which is exactly the effect the random-delay
+scheduling theorem (Theorem 2.1 in the paper, [Gha15]) controls.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..algorithm import DistributedAlgorithm
+from ..message import Message
+from ..node import NodeContext
+
+
+class DistributedBFS(DistributedAlgorithm):
+    """Grow a BFS tree from one or more sources, optionally truncated.
+
+    Outputs (in ``node.state``), all prefixed by ``prefix``:
+
+    * ``<prefix>dist``: hop distance from the nearest source (missing if the
+      node was not reached);
+    * ``<prefix>parent``: BFS parent (sources point to themselves);
+    * ``<prefix>root``: id of the source whose tree the node joined.
+
+    Args:
+        sources: the BFS roots.
+        allowed_adjacency: optional map ``node -> iterable of neighbours``
+            restricting which edges the BFS may use; nodes absent from the
+            map never participate.  This is how a BFS "inside ``G[S_i] ∪
+            H_i``" is expressed — each node knows its incident shortcut
+            edges, which is exactly the local knowledge the distributed
+            construction provides.
+        max_depth: truncate the tree at this depth (``None`` = unbounded).
+        prefix: state-key prefix, so several BFS results can coexist.
+        algorithm_id: id used to tag messages when running under the
+            random-delay scheduler.
+    """
+
+    name = "bfs"
+
+    def __init__(
+        self,
+        sources: set[int],
+        *,
+        allowed_adjacency: Optional[dict[int, set[int]]] = None,
+        max_depth: Optional[int] = None,
+        prefix: str = "bfs_",
+        algorithm_id: int = 0,
+    ) -> None:
+        if not sources:
+            raise ValueError("at least one BFS source is required")
+        self.sources = set(sources)
+        self.allowed_adjacency = allowed_adjacency
+        self.max_depth = max_depth
+        self.prefix = prefix
+        self.algorithm_id = algorithm_id
+
+    # ------------------------------------------------------------------
+    def _allowed_neighbors(self, node: NodeContext) -> list[int]:
+        if self.allowed_adjacency is None:
+            return list(node.neighbors)
+        allowed = self.allowed_adjacency.get(node.node_id)
+        if allowed is None:
+            return []
+        return [v for v in node.neighbors if v in allowed]
+
+    def _announce(self, node: NodeContext) -> None:
+        dist = node.state[self.prefix + "dist"]
+        root = node.state[self.prefix + "root"]
+        if self.max_depth is not None and dist >= self.max_depth:
+            return
+        for v in self._allowed_neighbors(node):
+            node.send(v, self.prefix + "explore", (dist, root), algorithm_id=self.algorithm_id)
+
+    # ------------------------------------------------------------------
+    def initialize(self, node: NodeContext) -> None:
+        if node.node_id in self.sources:
+            node.state[self.prefix + "dist"] = 0
+            node.state[self.prefix + "parent"] = node.node_id
+            node.state[self.prefix + "root"] = node.node_id
+            self._announce(node)
+        node.halt()
+
+    def on_round(self, node: NodeContext, messages: list[Message]) -> None:
+        best: Optional[tuple[int, int, int]] = None  # (dist, root, sender)
+        for msg in messages:
+            if msg.tag != self.prefix + "explore" or msg.algorithm_id != self.algorithm_id:
+                continue
+            dist, root = msg.payload
+            candidate = (dist + 1, root, msg.sender)
+            if best is None or candidate < best:
+                best = candidate
+        if best is not None:
+            current = node.state.get(self.prefix + "dist")
+            new_dist, root, sender = best
+            if current is None or new_dist < current:
+                node.state[self.prefix + "dist"] = new_dist
+                node.state[self.prefix + "parent"] = sender
+                node.state[self.prefix + "root"] = root
+                self._announce(node)
+        node.halt()
+
+
+def extract_bfs_tree(network, prefix: str = "bfs_") -> tuple[dict[int, int], dict[int, int]]:
+    """Read back the ``(parent, dist)`` maps of a finished BFS from a network.
+
+    Only nodes that were reached appear in the maps.
+    """
+    parent: dict[int, int] = {}
+    dist: dict[int, int] = {}
+    for v, ctx in network.nodes.items():
+        d = ctx.state.get(prefix + "dist")
+        if d is not None:
+            dist[v] = d
+            parent[v] = ctx.state[prefix + "parent"]
+    return parent, dist

@@ -1,0 +1,103 @@
+"""Leader election and component identification by max-id flooding.
+
+The distributed shortcut construction assumes (following [GH16]) that every
+part ``S_i`` is identified by the maximum node id inside it and that all
+part members know that id.  When the input does not come pre-labelled (for
+example the Boruvka fragments of the MST application), this flooding
+primitive establishes the labels: every node repeatedly announces the
+largest id it has heard of, restricted to edges inside its part, and the
+values stabilise after (induced) diameter rounds.
+
+The same primitive run on the whole graph elects a global leader.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..algorithm import DistributedAlgorithm
+from ..message import Message
+from ..node import NodeContext
+
+
+class FloodMax(DistributedAlgorithm):
+    """Flood the maximum node id within each connected region.
+
+    Outputs in ``node.state``:
+
+    * ``<prefix>leader``: the largest id reachable through allowed edges;
+    * ``<prefix>is_leader``: ``True`` on exactly the node achieving it.
+
+    Args:
+        allowed_adjacency: optional restriction of usable edges per node
+            (``node -> set of neighbours``); nodes missing from the map do
+            not participate and produce no output.
+        prefix: state-key prefix.
+        algorithm_id: message tag id for concurrent scheduling.
+    """
+
+    name = "flood_max"
+
+    def __init__(
+        self,
+        *,
+        allowed_adjacency: Optional[dict[int, set[int]]] = None,
+        prefix: str = "flood_",
+        algorithm_id: int = 0,
+    ) -> None:
+        self.allowed_adjacency = allowed_adjacency
+        self.prefix = prefix
+        self.algorithm_id = algorithm_id
+
+    def _allowed_neighbors(self, node: NodeContext) -> list[int]:
+        if self.allowed_adjacency is None:
+            return list(node.neighbors)
+        allowed = self.allowed_adjacency.get(node.node_id)
+        if allowed is None:
+            return []
+        return [v for v in node.neighbors if v in allowed]
+
+    def _participates(self, node: NodeContext) -> bool:
+        return self.allowed_adjacency is None or node.node_id in self.allowed_adjacency
+
+    def initialize(self, node: NodeContext) -> None:
+        if self._participates(node):
+            node.state[self.prefix + "leader"] = node.node_id
+            for v in self._allowed_neighbors(node):
+                node.send(v, self.prefix + "max", node.node_id, algorithm_id=self.algorithm_id)
+        node.halt()
+
+    def on_round(self, node: NodeContext, messages: list[Message]) -> None:
+        if not self._participates(node):
+            node.halt()
+            return
+        best = node.state[self.prefix + "leader"]
+        improved = False
+        for msg in messages:
+            if msg.tag != self.prefix + "max" or msg.algorithm_id != self.algorithm_id:
+                continue
+            if msg.payload > best:
+                best = msg.payload
+                improved = True
+        if improved:
+            node.state[self.prefix + "leader"] = best
+            for v in self._allowed_neighbors(node):
+                node.send(v, self.prefix + "max", best, algorithm_id=self.algorithm_id)
+        node.halt()
+
+    def finalize(self, network) -> None:
+        """Mark the winning node in each region (driver-side convenience)."""
+        for v, ctx in network.nodes.items():
+            leader = ctx.state.get(self.prefix + "leader")
+            if leader is not None:
+                ctx.state[self.prefix + "is_leader"] = leader == v
+
+
+def read_leaders(network, prefix: str = "flood_") -> dict[int, int]:
+    """Return the map ``node -> elected leader`` from a finished FloodMax run."""
+    result = {}
+    for v, ctx in network.nodes.items():
+        leader = ctx.state.get(prefix + "leader")
+        if leader is not None:
+            result[v] = leader
+    return result

@@ -1,0 +1,167 @@
+"""Connected components and related decompositions.
+
+These helpers are used by the partition generators (regions must be
+connected), by the MST application (Boruvka fragments are the connected
+components of the currently selected edges) and by validation code
+throughout the test-suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+from typing import Optional
+
+from .graph import Graph, edge_key
+
+
+def connected_components(
+    graph: Graph,
+    vertices: Optional[Iterable[int]] = None,
+) -> list[set[int]]:
+    """Return the connected components of ``graph`` restricted to ``vertices``.
+
+    Components are returned sorted by their smallest member so the output is
+    deterministic.
+
+    Args:
+        graph: the graph.
+        vertices: restrict to this vertex set (default: all vertices).
+    """
+    if vertices is None:
+        verts = set(graph.vertices())
+    else:
+        verts = set(vertices)
+    seen: set[int] = set()
+    components: list[set[int]] = []
+    for start in sorted(verts):
+        if start in seen:
+            continue
+        comp = {start}
+        seen.add(start)
+        queue: deque[int] = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if v in verts and v not in seen:
+                    seen.add(v)
+                    comp.add(v)
+                    queue.append(v)
+        components.append(comp)
+    return components
+
+
+def components_from_edges(
+    num_vertices: int,
+    edges: Iterable[tuple[int, int]],
+    *,
+    include_isolated: bool = False,
+) -> list[set[int]]:
+    """Return connected components of the graph defined by ``edges``.
+
+    This variant is used by Boruvka's algorithm where fragments are defined
+    by a set of selected edges rather than by an existing ``Graph`` object.
+
+    Args:
+        num_vertices: size of the vertex id space.
+        edges: the edge set.
+        include_isolated: if ``True``, vertices with no incident edge are
+            returned as singleton components; otherwise only vertices touched
+            by an edge appear.
+    """
+    adj: dict[int, set[int]] = {}
+    for u, v in edges:
+        a, b = edge_key(u, v)
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set()).add(a)
+    seen: set[int] = set()
+    components: list[set[int]] = []
+    for start in sorted(adj):
+        if start in seen:
+            continue
+        comp = {start}
+        seen.add(start)
+        queue: deque[int] = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    comp.add(v)
+                    queue.append(v)
+        components.append(comp)
+    if include_isolated:
+        for v in range(num_vertices):
+            if v not in seen:
+                components.append({v})
+    return components
+
+
+class UnionFind:
+    """Disjoint-set forest with union by size and path compression.
+
+    Used by Kruskal's reference MST, by Boruvka fragment merging and by the
+    2-ECSS augmentation step.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self._parent = list(range(size))
+        self._size = [1] * size
+        self._num_sets = size
+
+    @property
+    def num_sets(self) -> int:
+        """Current number of disjoint sets."""
+        return self._num_sets
+
+    def find(self, x: int) -> int:
+        """Return the canonical representative of the set containing ``x``."""
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets containing ``a`` and ``b``.
+
+        Returns:
+            ``True`` if the sets were distinct and have been merged.
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._num_sets -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """Return ``True`` if ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def set_size(self, x: int) -> int:
+        """Return the size of the set containing ``x``."""
+        return self._size[self.find(x)]
+
+    def groups(self) -> list[set[int]]:
+        """Return all sets, sorted by smallest member."""
+        by_root: dict[int, set[int]] = {}
+        for v in range(len(self._parent)):
+            by_root.setdefault(self.find(v), set()).add(v)
+        return [by_root[r] for r in sorted(by_root, key=lambda r: min(by_root[r]))]
+
+
+def spanning_forest(graph: Graph) -> list[tuple[int, int]]:
+    """Return the edges of an arbitrary spanning forest of ``graph``."""
+    uf = UnionFind(graph.num_vertices)
+    forest: list[tuple[int, int]] = []
+    for u, v in graph.edges():
+        if uf.union(u, v):
+            forest.append((u, v))
+    return forest

@@ -1,0 +1,378 @@
+"""Graph generators used by the experiments and tests.
+
+The paper's results hold for *every* n-vertex graph of constant diameter D.
+The experiments therefore exercise the construction on three kinds of
+instance:
+
+* benign constant-diameter graphs (hub-augmented random graphs, stars of
+  clusters, complete bipartite-ish cores) that model the "real-world small
+  diameter" motivation,
+* adversarial instances derived from the Elkin / Das-Sarma et al. lower
+  bound topology (see :mod:`repro.graphs.lower_bound`), and
+* small classic graphs (paths, cycles, grids, cliques) used by the unit
+  tests.
+
+Every randomized generator takes an explicit :class:`random.Random` (or
+integer seed) so that experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+from .graph import Graph, WeightedGraph
+from .traversal import diameter, diameter_lower_bound_double_sweep, is_connected
+
+RandomLike = Union[random.Random, int, None]
+
+
+def _rng(rng: RandomLike) -> random.Random:
+    """Normalize a seed / Random / None argument to a Random instance."""
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)
+
+
+# ----------------------------------------------------------------------
+# classic graphs
+# ----------------------------------------------------------------------
+def path_graph(n: int) -> Graph:
+    """Return the path on ``n`` vertices ``0 - 1 - ... - n-1``."""
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """Return the cycle on ``n`` vertices (``n >= 3``)."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph(n, edges)
+
+
+def complete_graph(n: int) -> Graph:
+    """Return the complete graph K_n (diameter 1 for ``n >= 2``)."""
+    return Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def star_graph(n: int) -> Graph:
+    """Return the star with centre 0 and ``n - 1`` leaves (diameter 2)."""
+    if n < 1:
+        raise ValueError("star needs at least 1 vertex")
+    return Graph(n, [(0, i) for i in range(1, n)])
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """Return the ``rows x cols`` grid graph; vertex (r, c) has id ``r*cols + c``."""
+    g = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols)
+    return g
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """Return K_{a,b}; the first ``a`` ids form one side (diameter 2)."""
+    g = Graph(a + b)
+    for u in range(a):
+        for v in range(a, a + b):
+            g.add_edge(u, v)
+    return g
+
+
+def binary_tree_graph(depth: int) -> Graph:
+    """Return a complete binary tree of the given depth (root has id 0)."""
+    n = 2 ** (depth + 1) - 1
+    g = Graph(n)
+    for v in range(1, n):
+        g.add_edge(v, (v - 1) // 2)
+    return g
+
+
+# ----------------------------------------------------------------------
+# random graphs
+# ----------------------------------------------------------------------
+def erdos_renyi_graph(n: int, p: float, rng: RandomLike = None) -> Graph:
+    """Return a G(n, p) Erdos-Renyi random graph."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    r = _rng(rng)
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if r.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+def random_connected_graph(n: int, extra_edge_prob: float = 0.05, rng: RandomLike = None) -> Graph:
+    """Return a connected random graph: a random spanning tree plus extra edges."""
+    r = _rng(rng)
+    g = Graph(n)
+    order = list(range(n))
+    r.shuffle(order)
+    for i in range(1, n):
+        g.add_edge(order[i], order[r.randrange(i)])
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not g.has_edge(u, v) and r.random() < extra_edge_prob:
+                g.add_edge(u, v)
+    return g
+
+
+# ----------------------------------------------------------------------
+# constant-diameter families
+# ----------------------------------------------------------------------
+def hub_diameter_graph(
+    n: int,
+    target_diameter: int,
+    *,
+    extra_edge_prob: float = 0.0,
+    rng: RandomLike = None,
+) -> Graph:
+    """Return a connected n-vertex graph with diameter exactly ``target_diameter``.
+
+    Construction: a "backbone" path ``b_0 - b_1 - ... - b_D`` of
+    ``target_diameter + 1`` hub vertices fixes the diameter from below; every
+    other vertex attaches to one of the interior hubs plus (optionally) a few
+    random chords, which keeps the diameter from exceeding the target.  The
+    exact diameter is verified with a double sweep plus an exact check and,
+    if the target is missed (possible when ``extra_edge_prob`` shrinks the
+    backbone distance), extra chords incident to the backbone endpoints are
+    removed until the target is met.
+
+    This is the workhorse "benign" family for the quality experiments:
+    constant diameter, linear number of vertices hanging off a small core.
+
+    Args:
+        n: number of vertices, must satisfy ``n >= target_diameter + 1``.
+        target_diameter: desired hop diameter (``>= 2``).
+        extra_edge_prob: probability of adding each random chord between
+            non-backbone vertices.
+        rng: seed or Random.
+
+    Raises:
+        ValueError: if the parameters are infeasible.
+    """
+    if target_diameter < 2:
+        raise ValueError("target_diameter must be at least 2")
+    if n < target_diameter + 1:
+        raise ValueError("need at least target_diameter + 1 vertices")
+    r = _rng(rng)
+    g = Graph(n)
+    backbone = list(range(target_diameter + 1))
+    for i in range(target_diameter):
+        g.add_edge(backbone[i], backbone[i + 1])
+    # Attach remaining vertices to interior hubs only, so that the backbone
+    # endpoints keep their full distance.
+    interior = backbone[1:-1] if target_diameter >= 2 else backbone
+    others = list(range(target_diameter + 1, n))
+    hub_of: dict[int, int] = {}
+    for v in others:
+        hub = r.choice(interior)
+        hub_of[v] = hub
+        g.add_edge(v, hub)
+    if extra_edge_prob > 0 and len(others) >= 2:
+        # Chords are only allowed between vertices hanging off the same or
+        # adjacent hubs: such a chord advances at most one backbone position
+        # per edge, so no chain of chords can ever beat the backbone path and
+        # the diameter stays pinned at the target.
+        for i, u in enumerate(others):
+            for v in others[i + 1:]:
+                if abs(hub_of[u] - hub_of[v]) > 1:
+                    continue
+                if r.random() < extra_edge_prob:
+                    g.add_edge(u, v)
+    _ensure_exact_diameter(g, target_diameter, backbone)
+    return g
+
+
+def cluster_star_graph(
+    num_clusters: int,
+    cluster_size: int,
+    *,
+    rng: RandomLike = None,
+) -> Graph:
+    """Return a "star of clusters" graph of diameter 4.
+
+    A central hub vertex connects to one representative of each cluster;
+    each cluster is a clique of ``cluster_size`` vertices.  The diameter is
+    4 (clique vertex -> representative -> hub -> representative -> clique
+    vertex), a common shape for data-centre style topologies.  The clusters
+    are natural parts for the shortcut problem.
+    """
+    if num_clusters < 2 or cluster_size < 1:
+        raise ValueError("need at least 2 clusters of size >= 1")
+    n = 1 + num_clusters * cluster_size
+    g = Graph(n)
+    hub = 0
+    for c in range(num_clusters):
+        base = 1 + c * cluster_size
+        members = list(range(base, base + cluster_size))
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                g.add_edge(u, v)
+        g.add_edge(hub, members[0])
+    return g
+
+
+def layered_diameter_graph(
+    n: int,
+    target_diameter: int,
+    *,
+    width_decay: float = 0.5,
+    extra_edge_prob: float = 0.1,
+    rng: RandomLike = None,
+) -> Graph:
+    """Return a layered random graph with diameter exactly ``target_diameter``.
+
+    A spine path ``s_0 - s_1 - ... - s_D`` pins the diameter from below.
+    The remaining vertices are split into interior layers ``1 .. D-1`` whose
+    sizes decay geometrically away from the middle; a vertex of layer ``i``
+    connects to the two spine vertices ``s_{i-1}`` and ``s_i`` plus random
+    chords to vertices of the same or an adjacent layer.  Every non-spine
+    vertex advances at most one spine position per edge, so no combination
+    of chords can beat the spine path and the diameter stays exactly ``D``;
+    at the same time the layers are dense enough that long induced paths
+    (adversarial parts) exist.
+    """
+    if target_diameter < 2:
+        raise ValueError("target_diameter must be at least 2")
+    if n < target_diameter + 1:
+        raise ValueError("need at least target_diameter + 1 vertices")
+    r = _rng(rng)
+    num_layers = target_diameter + 1
+    spine = list(range(num_layers))
+    g = Graph(n)
+    for i in range(target_diameter):
+        g.add_edge(spine[i], spine[i + 1])
+
+    interior = num_layers - 2
+    others = list(range(num_layers, n))
+    layer_of: dict[int, int] = {}
+    if interior > 0 and others:
+        weights = []
+        for i in range(interior):
+            centre_dist = abs(i - (interior - 1) / 2)
+            weights.append(width_decay ** centre_dist)
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cumulative.append(acc)
+        for idx, v in enumerate(others):
+            # Deterministic proportional assignment (round-robin over the
+            # cumulative weights) keeps layer sizes close to the target split.
+            fraction = (idx + 0.5) / len(others)
+            layer = 1 + next(i for i, c in enumerate(cumulative) if fraction <= c or i == interior - 1)
+            layer_of[v] = layer
+            g.add_edge(v, spine[layer - 1])
+            g.add_edge(v, spine[layer])
+        if extra_edge_prob > 0:
+            for i, u in enumerate(others):
+                for v in others[i + 1:]:
+                    if abs(layer_of[u] - layer_of[v]) > 1:
+                        continue
+                    if r.random() < extra_edge_prob:
+                        g.add_edge(u, v)
+    elif others:
+        # Diameter 2: everything hangs off the middle spine vertex.
+        for v in others:
+            g.add_edge(v, spine[1])
+    _ensure_exact_diameter(g, target_diameter, [spine[0], spine[-1]])
+    return g
+
+
+def _ensure_exact_diameter(g: Graph, target: int, witnesses: list[int]) -> None:
+    """Validate that ``g`` has diameter exactly ``target``.
+
+    ``witnesses`` should contain two vertices at distance ``target`` by
+    construction; the function verifies connectivity, that no pair exceeds
+    the target, and that the witness pair achieves it.
+
+    Raises:
+        ValueError: if the construction missed the target (callers treat this
+            as a programming error in the generator, not a user error).
+    """
+    if not is_connected(g):
+        raise ValueError("generated graph is disconnected")
+    lower = diameter_lower_bound_double_sweep(g, start=witnesses[0])
+    if lower > target:
+        raise ValueError(f"generated graph has diameter > {target}")
+    exact = diameter(g)
+    if exact != target:
+        raise ValueError(f"generated graph has diameter {exact}, wanted {target}")
+
+
+# ----------------------------------------------------------------------
+# weighted graphs
+# ----------------------------------------------------------------------
+def with_random_weights(
+    graph: Graph,
+    *,
+    low: float = 1.0,
+    high: float = 100.0,
+    rng: RandomLike = None,
+    unique: bool = True,
+) -> WeightedGraph:
+    """Return a weighted copy of ``graph`` with random edge weights.
+
+    Args:
+        low, high: weight range.
+        unique: if ``True`` (default), weights are perturbed to be pairwise
+            distinct, which makes the MST unique and simplifies equality
+            checks in tests.
+    """
+    r = _rng(rng)
+    wg = WeightedGraph(graph.num_vertices)
+    edges = list(graph.edges())
+    for idx, (u, v) in enumerate(edges):
+        w = r.uniform(low, high)
+        if unique:
+            w = round(w, 3) + idx * 1e-6
+        wg.add_weighted_edge(u, v, w)
+    return wg
+
+
+def planted_cut_graph(
+    half_size: int,
+    cut_edges: int,
+    *,
+    intra_prob: float = 0.3,
+    rng: RandomLike = None,
+) -> WeightedGraph:
+    """Return a weighted graph with a planted sparse cut of ``cut_edges`` unit edges.
+
+    Two dense random halves of ``half_size`` vertices each are joined by
+    exactly ``cut_edges`` crossing edges of weight 1; intra-half edges get
+    weight 10.  The minimum cut therefore has value ``cut_edges`` (for
+    reasonable densities), which gives the min-cut experiments a known
+    ground truth.
+    """
+    if half_size < 2 or cut_edges < 1:
+        raise ValueError("need half_size >= 2 and cut_edges >= 1")
+    r = _rng(rng)
+    n = 2 * half_size
+    wg = WeightedGraph(n)
+    for base in (0, half_size):
+        members = list(range(base, base + half_size))
+        # Spanning cycle guarantees each half is 2-edge-connected.
+        for i in range(half_size):
+            wg.add_weighted_edge(members[i], members[(i + 1) % half_size], 10.0)
+        for i in range(half_size):
+            for j in range(i + 2, half_size):
+                if r.random() < intra_prob:
+                    wg.add_weighted_edge(members[i], members[j], 10.0)
+    crossing = set()
+    while len(crossing) < cut_edges:
+        u = r.randrange(half_size)
+        v = half_size + r.randrange(half_size)
+        crossing.add((u, v))
+    for u, v in crossing:
+        wg.add_weighted_edge(u, v, 1.0)
+    return wg

@@ -1,0 +1,260 @@
+"""Breadth-first traversal, distances, eccentricity and diameter.
+
+All shortcut quality measurements ultimately reduce to BFS computations:
+
+* the *dilation* of a shortcut is the diameter of each augmented subgraph
+  ``G[S_i] ∪ H_i`` restricted to the part ``S_i``;
+* the distributed construction uses truncated BFS trees of depth ``~k_D``;
+* the auxiliary shortcut trees of Section 3.1 are BFS trees of a layered
+  graph.
+
+The functions here operate on any :class:`~repro.graphs.graph.Graph`
+(including :class:`~repro.graphs.graph.Subgraph` views) and on optional
+vertex restrictions, so the same code serves the full graph, induced parts
+and augmented subgraphs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+from typing import Optional
+
+from .graph import Graph, Subgraph
+
+#: Distance value used for unreachable vertices.
+INFINITY = float("inf")
+
+
+def bfs_distances(
+    graph: Graph,
+    source: int,
+    *,
+    allowed: Optional[set[int]] = None,
+    max_depth: Optional[int] = None,
+) -> dict[int, int]:
+    """Compute BFS distances from ``source``.
+
+    Args:
+        graph: the graph to traverse.
+        source: start vertex.
+        allowed: if given, the traversal is restricted to this vertex set
+            (``source`` must be in it).
+        max_depth: if given, the traversal stops at this depth; vertices
+            further away are not reported.
+
+    Returns:
+        A dict mapping each reached vertex to its hop distance from
+        ``source``.
+    """
+    if allowed is not None and source not in allowed:
+        raise ValueError(f"source {source} is not in the allowed vertex set")
+    dist: dict[int, int] = {source: 0}
+    queue: deque[int] = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        if max_depth is not None and du >= max_depth:
+            continue
+        for v in graph.neighbors(u):
+            if v in dist:
+                continue
+            if allowed is not None and v not in allowed:
+                continue
+            dist[v] = du + 1
+            queue.append(v)
+    return dist
+
+
+def bfs_tree(
+    graph: Graph,
+    source: int,
+    *,
+    allowed: Optional[set[int]] = None,
+    max_depth: Optional[int] = None,
+) -> tuple[dict[int, int], dict[int, int]]:
+    """Compute a BFS tree from ``source``.
+
+    Returns:
+        A pair ``(parent, dist)`` where ``parent[v]`` is the BFS parent of
+        ``v`` (the source maps to itself) and ``dist[v]`` its hop distance.
+    """
+    if allowed is not None and source not in allowed:
+        raise ValueError(f"source {source} is not in the allowed vertex set")
+    parent: dict[int, int] = {source: source}
+    dist: dict[int, int] = {source: 0}
+    queue: deque[int] = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        if max_depth is not None and du >= max_depth:
+            continue
+        for v in graph.neighbors(u):
+            if v in dist:
+                continue
+            if allowed is not None and v not in allowed:
+                continue
+            parent[v] = u
+            dist[v] = du + 1
+            queue.append(v)
+    return parent, dist
+
+
+def shortest_path(
+    graph: Graph,
+    source: int,
+    target: int,
+    *,
+    allowed: Optional[set[int]] = None,
+) -> Optional[list[int]]:
+    """Return a shortest ``source``-``target`` path as a vertex list, or ``None``.
+
+    The path includes both endpoints.  Used by the dilation analysis (the
+    paper's argument is phrased on an ``s``-``t`` shortest path inside
+    ``G[S_j]``) and by the shortcut-tree experiments.
+    """
+    parent, dist = bfs_tree(graph, source, allowed=allowed)
+    if target not in dist:
+        return None
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def eccentricity(
+    graph: Graph,
+    source: int,
+    *,
+    allowed: Optional[set[int]] = None,
+    targets: Optional[set[int]] = None,
+) -> float:
+    """Return the eccentricity of ``source``.
+
+    Args:
+        targets: if given, the eccentricity is the maximum distance to a
+            vertex in ``targets`` (this is the quantity needed for dilation:
+            max distance between *part* vertices within the augmented
+            subgraph).  Unreachable targets yield :data:`INFINITY`.
+    """
+    dist = bfs_distances(graph, source, allowed=allowed)
+    if targets is None:
+        if allowed is not None:
+            targets = allowed
+        else:
+            targets = set(dist)
+    worst = 0.0
+    for t in targets:
+        d = dist.get(t)
+        if d is None:
+            return INFINITY
+        if d > worst:
+            worst = float(d)
+    return worst
+
+
+def diameter(
+    graph: Graph,
+    *,
+    vertices: Optional[Iterable[int]] = None,
+    allowed: Optional[set[int]] = None,
+) -> float:
+    """Return the (hop) diameter over a vertex set.
+
+    Args:
+        graph: graph to measure.
+        vertices: the vertices whose pairwise distances are maximized.  For a
+            plain :class:`Graph` the default is all vertices; for a
+            :class:`Subgraph` the default is its present vertex set.
+        allowed: optional restriction on which vertices traversals may use
+            (defaults to ``vertices`` related behaviour: no restriction).
+
+    Returns:
+        The maximum pairwise distance, or :data:`INFINITY` if some pair is
+        disconnected.  An empty or single-vertex set has diameter 0.
+    """
+    if vertices is None:
+        if isinstance(graph, Subgraph):
+            verts = list(graph.vertex_set)
+        else:
+            verts = list(graph.vertices())
+    else:
+        verts = list(vertices)
+    if len(verts) <= 1:
+        return 0.0
+    vert_set = set(verts)
+    worst = 0.0
+    for v in verts:
+        ecc = eccentricity(graph, v, allowed=allowed, targets=vert_set)
+        if ecc == INFINITY:
+            return INFINITY
+        if ecc > worst:
+            worst = ecc
+    return worst
+
+
+def diameter_lower_bound_double_sweep(
+    graph: Graph,
+    *,
+    start: int = 0,
+    allowed: Optional[set[int]] = None,
+) -> int:
+    """Return a lower bound on the diameter via a double BFS sweep.
+
+    The double sweep (BFS from an arbitrary vertex, then BFS from the
+    farthest vertex found) gives the exact diameter on trees and a good
+    lower bound in general.  It is used by generators to cheaply validate
+    that constructed graphs meet their target diameter before the exact
+    check.
+    """
+    if allowed is not None and start not in allowed:
+        start = next(iter(allowed))
+    dist = bfs_distances(graph, start, allowed=allowed)
+    far = max(dist, key=dist.get)  # type: ignore[arg-type]
+    dist2 = bfs_distances(graph, far, allowed=allowed)
+    return max(dist2.values(), default=0)
+
+
+def is_connected(graph: Graph, vertices: Optional[Iterable[int]] = None) -> bool:
+    """Return ``True`` if the given vertex set is connected in ``graph``.
+
+    With no ``vertices`` argument, a plain :class:`Graph` is checked over all
+    its vertices and a :class:`Subgraph` over its present vertex set.
+    Vertices are only allowed to be connected *through* the given set (i.e.
+    this checks connectivity of the induced subgraph).
+    """
+    if vertices is None:
+        if isinstance(graph, Subgraph):
+            verts = set(graph.vertex_set)
+        else:
+            verts = set(graph.vertices())
+    else:
+        verts = set(vertices)
+    if not verts:
+        return True
+    source = next(iter(verts))
+    dist = bfs_distances(graph, source, allowed=verts)
+    return len(dist) == len(verts)
+
+
+def distances_to_set(graph: Graph, targets: Iterable[int]) -> dict[int, int]:
+    """Multi-source BFS: distance of every vertex to the nearest target.
+
+    Used by the shortcut-tree construction, where layer depth bounds are
+    phrased in terms of ``dist_G(P, Q) = max_{u in P} dist_G(u, Q)``.
+    """
+    dist: dict[int, int] = {}
+    queue: deque[int] = deque()
+    for t in targets:
+        if t not in dist:
+            dist[t] = 0
+            queue.append(t)
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        for v in graph.neighbors(u):
+            if v not in dist:
+                dist[v] = du + 1
+                queue.append(v)
+    return dist

@@ -1,0 +1,274 @@
+"""The Kogan-Parter shortcut construction (Section 2 of the paper).
+
+Centralized construction for a graph ``G`` of diameter ``D`` and parts
+``S_1, ..., S_l`` (even ``D``; odd diameters are handled by the edge
+subdivision argument, see :func:`build_kogan_parter_shortcut` and
+:mod:`repro.shortcuts.odd note below`):
+
+1. every node ``v ∈ S_i`` adds all its incident edges to ``H_i``;
+2. every node ``u ∉ S_i`` adds each incident (directed) edge ``(u, v)`` to
+   ``H_i`` independently with probability ``p = k_D · log n / N``;
+3. step 2 is repeated ``D`` independent times.
+
+Only *large* parts (``|S_i| > k_D``) receive sampled edges — a small part's
+induced diameter is already at most ``k_D``, and there are at most
+``N = ceil(n / k_D)`` large parts because the parts are disjoint.
+
+The congestion bound ``O(D · k_D · log n)`` follows from a Chernoff bound on
+the per-edge sampling; the dilation bound ``O(k_D · log n)`` is the paper's
+main technical contribution (Section 3, reproduced empirically by the
+shortcut-tree experiments in :mod:`repro.shortcuts.shortcut_trees`).
+
+Implementation notes
+--------------------
+* The construction is implemented *edge-major*: instead of flipping a coin
+  per (part, repetition, edge) we draw, for each directed edge and each
+  repetition, the binomially distributed number of parts that sample it and
+  then choose that many parts uniformly.  The resulting distribution over
+  shortcut sets is identical (each (edge, repetition, part) is an
+  independent Bernoulli(p)) while the work becomes proportional to the
+  number of *successful* samples, which is what the congestion bound counts
+  anyway.
+* ``log n`` factors dominate at simulation scale: for the ``n`` reachable in
+  a Python simulator the paper's ``p`` often clamps to 1 (every edge joins
+  every subgraph, which degenerates to the naive shortcut).  The
+  ``log_factor`` argument scales the logarithmic term so the experiments can
+  operate in the non-degenerate regime; the default reproduces the paper's
+  parameter exactly.
+* Repetition provenance can be recorded (``track_repetitions=True``); the
+  shortcut-tree analysis (Section 3.1) needs to know in which of the ``D``
+  repetitions an edge was sampled.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from ..graphs.graph import Graph, edge_key
+from ..graphs.traversal import diameter as graph_diameter
+from ..params import k_d_value, large_part_threshold, num_large_parts
+from .partition import Partition
+from .shortcut import Shortcut
+
+RandomLike = Union[random.Random, int, None]
+
+
+@dataclass(frozen=True)
+class KoganParterParameters:
+    """The resolved parameters of one construction run.
+
+    Attributes:
+        n: number of vertices.
+        diameter: the diameter value ``D`` used (given or measured).
+        k_d: the target quality ``k_D = n^((D-2)/(2D-2))``.
+        num_large_parts_bound: ``N = ceil(n / k_D)``.
+        probability: the per-repetition sampling probability actually used.
+        repetitions: number of independent sampling repetitions (``D`` by
+            default).
+        large_threshold: size above which a part is large.
+        log_factor: multiplier applied to the ``log n`` term of ``p``.
+    """
+
+    n: int
+    diameter: int
+    k_d: float
+    num_large_parts_bound: int
+    probability: float
+    repetitions: int
+    large_threshold: float
+    log_factor: float
+
+
+@dataclass
+class KoganParterResult:
+    """Output of the centralized construction.
+
+    Attributes:
+        shortcut: the resulting :class:`~repro.shortcuts.shortcut.Shortcut`.
+        parameters: the resolved :class:`KoganParterParameters`.
+        large_part_indices: indices of the parts that received sampled edges.
+        repetition_edges: if tracking was requested, for every part index a
+            list of ``repetitions`` sets of *directed* edges, recording in
+            which repetition each sample happened (step-1 edges are not
+            listed — they are deterministic).
+    """
+
+    shortcut: Shortcut
+    parameters: KoganParterParameters
+    large_part_indices: list[int]
+    repetition_edges: Optional[dict[int, list[set[tuple[int, int]]]]] = None
+
+
+def resolve_parameters(
+    graph: Graph,
+    *,
+    diameter_value: Optional[int] = None,
+    probability: Optional[float] = None,
+    repetitions: Optional[int] = None,
+    log_factor: float = 1.0,
+    large_threshold: Optional[float] = None,
+) -> KoganParterParameters:
+    """Compute the construction parameters for ``graph``.
+
+    Args:
+        diameter_value: the diameter ``D``; measured exactly if omitted
+            (measuring is O(n·m), fine at simulation scale — the distributed
+            implementation instead guesses ``D`` as in the paper).
+        probability: override the sampling probability entirely.
+        repetitions: override the number of repetitions (default ``D``).
+        log_factor: multiplier on the ``log n`` factor of the default ``p``.
+        large_threshold: override the large-part size threshold (default
+            ``k_D``).
+    """
+    n = graph.num_vertices
+    if diameter_value is None:
+        measured = graph_diameter(graph)
+        if measured == float("inf"):
+            raise ValueError("graph must be connected to compute its diameter")
+        diameter_value = int(measured)
+    if diameter_value < 2:
+        # Diameter-1 graphs (cliques) are handled by the D=2 parameterisation:
+        # k_D = 1, every part with more than one vertex is large.
+        diameter_value = 2
+    k_d = k_d_value(n, diameter_value)
+    n_large = num_large_parts(n, diameter_value)
+    if probability is None:
+        probability = min(1.0, k_d * log_factor * math.log(max(n, 2)) / max(n_large, 1))
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"sampling probability must be in [0, 1], got {probability}")
+    if repetitions is None:
+        repetitions = max(1, diameter_value)
+    if repetitions < 1:
+        raise ValueError("repetitions must be at least 1")
+    if large_threshold is None:
+        large_threshold = large_part_threshold(n, diameter_value)
+    return KoganParterParameters(
+        n=n,
+        diameter=diameter_value,
+        k_d=k_d,
+        num_large_parts_bound=n_large,
+        probability=probability,
+        repetitions=repetitions,
+        large_threshold=large_threshold,
+        log_factor=log_factor,
+    )
+
+
+def build_kogan_parter_shortcut(
+    graph: Graph,
+    partition: Partition,
+    *,
+    diameter_value: Optional[int] = None,
+    probability: Optional[float] = None,
+    repetitions: Optional[int] = None,
+    log_factor: float = 1.0,
+    large_threshold: Optional[float] = None,
+    rng: RandomLike = None,
+    track_repetitions: bool = False,
+) -> KoganParterResult:
+    """Run the centralized Kogan-Parter construction.
+
+    Odd diameters: the paper subdivides every edge (making the diameter
+    ``2D``, even) and samples each half-edge with probability ``sqrt(p)``,
+    keeping an original edge when both halves are sampled.  Because the two
+    halves are sampled independently, the law of the *output* edge set is
+    exactly "each directed original edge sampled with probability ``p``",
+    i.e. the same sampling step as the even case with the odd ``D`` plugged
+    into ``k_D``; the subdivision matters only for the dilation *analysis*.
+    The implementation therefore uses the same sampling code for both
+    parities (and the test-suite contains a statistical check of the
+    equivalence against an explicit subdivision, see
+    ``tests/test_kogan_parter.py``).
+
+    Args:
+        graph: the host graph (assumed connected).
+        partition: the parts to shortcut.
+        diameter_value, probability, repetitions, log_factor, large_threshold:
+            see :func:`resolve_parameters`.
+        rng: seed or :class:`random.Random` controlling the sampling.
+        track_repetitions: record which repetition sampled each directed
+            edge (needed by the shortcut-tree analysis, costs memory).
+
+    Returns:
+        A :class:`KoganParterResult`.
+    """
+    params = resolve_parameters(
+        graph,
+        diameter_value=diameter_value,
+        probability=probability,
+        repetitions=repetitions,
+        log_factor=log_factor,
+        large_threshold=large_threshold,
+    )
+    r = rng if isinstance(rng, random.Random) else random.Random(rng)
+    np_rng = np.random.default_rng(r.getrandbits(64))
+
+    large = partition.large_part_indices(threshold=params.large_threshold)
+    subgraphs: list[set[tuple[int, int]]] = [set() for _ in range(partition.num_parts)]
+    repetition_edges: Optional[dict[int, list[set[tuple[int, int]]]]] = None
+    if track_repetitions:
+        repetition_edges = {i: [set() for _ in range(params.repetitions)] for i in large}
+
+    # ------------------------------------------------------------------
+    # Step 1: every node of S_i contributes all its incident edges to H_i.
+    # (Applied to every part, large or small: it is free congestion-wise —
+    # an edge can gain at most 2 this way — and it is what the paper states.)
+    # ------------------------------------------------------------------
+    for i in range(partition.num_parts):
+        for u in partition.part(i):
+            for v in graph.neighbors(u):
+                subgraphs[i].add(edge_key(u, v))
+
+    # ------------------------------------------------------------------
+    # Steps 2-3: sampled edges for large parts only.
+    # Edge-major sampling: for each directed edge and repetition, draw how
+    # many of the |large| parts sample it (Binomial), then pick them.
+    # ------------------------------------------------------------------
+    if large and params.probability > 0:
+        directed_edges: list[tuple[int, int]] = []
+        for u, v in graph.edges():
+            directed_edges.append((u, v))
+            directed_edges.append((v, u))
+        num_targets = len(large)
+        p = params.probability
+        if p >= 1.0:
+            counts = np.full((len(directed_edges), params.repetitions), num_targets, dtype=np.int64)
+        else:
+            counts = np_rng.binomial(num_targets, p, size=(len(directed_edges), params.repetitions))
+        for e_idx, (u, v) in enumerate(directed_edges):
+            key = edge_key(u, v)
+            for rep in range(params.repetitions):
+                c = int(counts[e_idx, rep])
+                if c == 0:
+                    continue
+                if c >= num_targets:
+                    chosen = large
+                else:
+                    chosen = [large[j] for j in _sample_indices(r, num_targets, c)]
+                for part_idx in chosen:
+                    # The paper's step 2 is performed by nodes u outside S_i;
+                    # if u happens to be inside, the edge is already present
+                    # from step 1 so adding it again changes nothing.
+                    subgraphs[part_idx].add(key)
+                    if repetition_edges is not None:
+                        repetition_edges[part_idx][rep].add((u, v))
+
+    shortcut = Shortcut(partition, subgraphs, validate_edges=False)
+    return KoganParterResult(
+        shortcut=shortcut,
+        parameters=params,
+        large_part_indices=large,
+        repetition_edges=repetition_edges,
+    )
+
+
+def _sample_indices(r: random.Random, population: int, count: int) -> list[int]:
+    """Sample ``count`` distinct indices from ``range(population)``."""
+    if count >= population:
+        return list(range(population))
+    return r.sample(range(population), count)

@@ -1,0 +1,242 @@
+"""The shortcut container and its quality measures.
+
+Definition 1.1 of the paper: given ``G`` and parts ``S_1, ..., S_l``, a
+``(d, c)``-shortcut is a collection of subgraphs ``H_1, ..., H_l`` of ``G``
+such that
+
+1. the diameter of ``G[S_i] ∪ H_i`` is at most ``d`` (dilation), and
+2. every edge of ``G`` appears in at most ``c`` of the augmented subgraphs
+   ``G[S_i] ∪ H_i`` (congestion).
+
+:class:`Shortcut` stores the ``H_i`` edge sets, exposes the augmented
+subgraphs and computes congestion, dilation and quality.
+
+Measurement conventions
+-----------------------
+*Congestion* follows the definition exactly: for each edge we count the
+augmented subgraphs containing it (induced part edges count for their own
+part, shortcut edges for each part whose ``H_i`` contains them).
+
+*Dilation* is reported as the maximum, over parts, of the largest distance
+between two **part** vertices inside the augmented subgraph
+``G[S_i] ∪ H_i``.  This is the quantity the paper's dilation argument
+bounds (Theorem 3.1 bounds ``dist_H(s, t)`` for ``s, t ∈ S_j``) and the one
+the applications rely on; the full subgraph diameter can be larger or even
+infinite because sampled edges may land outside the part's component, which
+is irrelevant for routing inside the part.  ``dilation(mode="component")``
+additionally measures the diameter of the connected component of the
+augmented subgraph that contains the part, for completeness.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..graphs.graph import Graph, Subgraph, edge_key, union_subgraph
+from ..graphs.traversal import INFINITY, bfs_distances
+from .partition import Partition
+
+RandomLike = Union[random.Random, int, None]
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Summary of a shortcut's measured quality.
+
+    Attributes:
+        congestion: max number of augmented subgraphs sharing one edge.
+        dilation: max part-to-part distance inside any augmented subgraph
+            (:data:`math.inf` if some part is disconnected in its augmented
+            subgraph, which a *valid* shortcut never is).
+        quality: congestion + dilation.
+        num_parts: number of parts.
+        num_shortcut_edges: total size of all ``H_i`` (with multiplicity).
+        max_part_shortcut_edges: size of the largest single ``H_i``.
+    """
+
+    congestion: int
+    dilation: float
+    num_parts: int
+    num_shortcut_edges: int
+    max_part_shortcut_edges: int
+
+    @property
+    def quality(self) -> float:
+        """Congestion plus dilation — the paper's quality measure."""
+        return self.congestion + self.dilation
+
+
+class Shortcut:
+    """A low-congestion shortcut: one edge set ``H_i`` per part.
+
+    Args:
+        partition: the part collection the shortcut serves.
+        subgraphs: for each part, an iterable of edges (``(u, v)`` pairs of
+            graph vertices) forming ``H_i``.  Every edge must exist in the
+            host graph.  Missing trailing entries are treated as empty.
+        validate_edges: set to ``False`` to skip the per-edge existence check
+            (constructions that sample directly from adjacency lists already
+            guarantee it).
+    """
+
+    def __init__(
+        self,
+        partition: Partition,
+        subgraphs: Sequence[Iterable[tuple[int, int]]],
+        *,
+        validate_edges: bool = True,
+    ) -> None:
+        if len(subgraphs) > partition.num_parts:
+            raise ValueError(
+                f"got {len(subgraphs)} shortcut subgraphs for {partition.num_parts} parts"
+            )
+        self.partition = partition
+        self.graph = partition.graph
+        self._subgraphs: list[set[tuple[int, int]]] = []
+        for i in range(partition.num_parts):
+            edges = subgraphs[i] if i < len(subgraphs) else ()
+            canonical = {edge_key(u, v) for u, v in edges}
+            if validate_edges:
+                for u, v in canonical:
+                    if not self.graph.has_edge(u, v):
+                        raise ValueError(f"shortcut edge ({u}, {v}) is not an edge of the graph")
+            self._subgraphs.append(canonical)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_parts(self) -> int:
+        """Number of parts (and of shortcut subgraphs)."""
+        return self.partition.num_parts
+
+    def subgraph_edges(self, index: int) -> set[tuple[int, int]]:
+        """Return the edge set ``H_index`` (canonical edge tuples)."""
+        return set(self._subgraphs[index])
+
+    def augmented_edges(self, index: int) -> set[tuple[int, int]]:
+        """Return the edges of the augmented subgraph ``G[S_index] ∪ H_index``."""
+        edges = set(self.partition.part_edges(index))
+        edges |= self._subgraphs[index]
+        return edges
+
+    def augmented_subgraph(self, index: int) -> Subgraph:
+        """Return ``G[S_index] ∪ H_index`` as a :class:`Subgraph`.
+
+        The subgraph always contains all part vertices (even isolated ones,
+        e.g. a singleton part with no shortcut edges).
+        """
+        sub = union_subgraph(self.graph.num_vertices, self.augmented_edges(index))
+        for v in self.partition.part(index):
+            sub.vertex_set.add(v)
+        return sub
+
+    def augmented_adjacency(self, index: int) -> dict[int, set[int]]:
+        """Return the adjacency map of ``G[S_index] ∪ H_index``.
+
+        This is the per-node edge knowledge the distributed algorithms work
+        with ("each node knows its incident edges in each ``G[S_i] ∪ H_i``").
+        """
+        adj: dict[int, set[int]] = {v: set() for v in self.partition.part(index)}
+        for u, v in self.augmented_edges(index):
+            adj.setdefault(u, set()).add(v)
+            adj.setdefault(v, set()).add(u)
+        return adj
+
+    def total_shortcut_edges(self) -> int:
+        """Return the total number of shortcut edges summed over parts."""
+        return sum(len(s) for s in self._subgraphs)
+
+    # ------------------------------------------------------------------
+    # quality measures
+    # ------------------------------------------------------------------
+    def congestion(self) -> int:
+        """Return the congestion: max #augmented subgraphs sharing one edge."""
+        load: dict[tuple[int, int], int] = {}
+        for i in range(self.num_parts):
+            for e in self.augmented_edges(i):
+                load[e] = load.get(e, 0) + 1
+        return max(load.values(), default=0)
+
+    def edge_loads(self) -> dict[tuple[int, int], int]:
+        """Return the full per-edge load map (edges with zero load omitted)."""
+        load: dict[tuple[int, int], int] = {}
+        for i in range(self.num_parts):
+            for e in self.augmented_edges(i):
+                load[e] = load.get(e, 0) + 1
+        return load
+
+    def part_dilation(self, index: int, *, exact: bool = True, rng: RandomLike = None,
+                      sample_size: int = 4) -> float:
+        """Return the dilation of one part.
+
+        Args:
+            exact: if ``True``, BFS from every part vertex (exact maximum
+                pairwise distance); otherwise BFS from the part leader plus
+                ``sample_size`` random part vertices, which gives a value in
+                ``[true/2, true]`` (the leader eccentricity alone is already a
+                2-approximation).
+            rng: randomness for the sampled variant.
+        """
+        part = self.partition.part(index)
+        if len(part) <= 1:
+            return 0.0
+        adj = self.augmented_adjacency(index)
+        view = _AdjacencyView(adj)
+        if exact:
+            sources = list(part)
+        else:
+            r = rng if isinstance(rng, random.Random) else random.Random(rng)
+            sources = [self.partition.leader(index)]
+            pool = list(part)
+            for _ in range(min(sample_size, len(pool))):
+                sources.append(r.choice(pool))
+        worst = 0.0
+        part_set = set(part)
+        for s in sources:
+            dist = bfs_distances(view, s)
+            for t in part_set:
+                d = dist.get(t)
+                if d is None:
+                    return INFINITY
+                if d > worst:
+                    worst = float(d)
+        return worst
+
+    def dilation(self, *, exact: bool = True, rng: RandomLike = None) -> float:
+        """Return the dilation over all parts (see the module docstring)."""
+        worst = 0.0
+        for i in range(self.num_parts):
+            d = self.part_dilation(i, exact=exact, rng=rng)
+            if d == INFINITY:
+                return INFINITY
+            if d > worst:
+                worst = d
+        return worst
+
+    def quality_report(self, *, exact_dilation: bool = True, rng: RandomLike = None) -> QualityReport:
+        """Return a :class:`QualityReport` with congestion, dilation and sizes."""
+        return QualityReport(
+            congestion=self.congestion(),
+            dilation=self.dilation(exact=exact_dilation, rng=rng),
+            num_parts=self.num_parts,
+            num_shortcut_edges=self.total_shortcut_edges(),
+            max_part_shortcut_edges=max((len(s) for s in self._subgraphs), default=0),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Shortcut(num_parts={self.num_parts}, "
+            f"total_shortcut_edges={self.total_shortcut_edges()})"
+        )
+
+
+class _AdjacencyView:
+    """A minimal Graph-like view over an adjacency dict, for BFS reuse."""
+
+    def __init__(self, adj: dict[int, set[int]]) -> None:
+        self._adj = adj
+
+    def neighbors(self, v: int) -> set[int]:
+        return self._adj.get(v, set())

@@ -1,0 +1,321 @@
+"""Shortcut trees — the dilation-analysis machinery of Section 3.1.
+
+The paper's main technical contribution is an analysis showing that the
+sampled subgraphs have diameter ``O(k_D log n)``.  The analysis introduces
+an auxiliary *layered* graph ``G_{P,Q,ℓ}`` for a path ``P``, a target set
+``Q`` and a distance bound ``ℓ``:
+
+* layer ``L_1`` is the path ``P`` (these are the vertices whose pairwise
+  distance the argument shortens);
+* layers ``L_2 .. L_ℓ`` are full copies of ``V(G)``;
+* layer ``L_{ℓ+1}`` is ``Q`` and ``L_{ℓ+2}`` is a single root ``r``;
+* consecutive layers are connected by "self-copy" edges and by copies of the
+  ``G``-edges, and the root connects to all of ``Q``.
+
+``T_{P,Q,ℓ}`` is a BFS tree of this graph rooted at ``r``; the *sampled*
+tree ``T*`` keeps the layer-1/2 and root edges and the self-copy edges, and
+keeps a non-self edge between layers ``k`` and ``k+1`` only when the
+corresponding ``G``-edge was sampled in the ``(k-1)``-th repetition of
+Step (2) of the construction.  Lemma 3.3 shows that ``T* ∪ E(P)`` contains,
+w.h.p., short *(i, k)-walks* from any path position to either the end of the
+path or some node of layer ``k``.
+
+This module builds these objects explicitly so the experiments (E9) and the
+property-based tests can check the lemma's quantitative statement on real
+samples: it is the reproduction of the paper's "evaluation" of its key
+lemma, in the absence of an experimental section.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..graphs.graph import Graph
+from ..graphs.traversal import INFINITY
+from ..params import k_d_value, num_large_parts
+
+RandomLike = Union[random.Random, int, None]
+
+#: The auxiliary-graph node representing the BFS root.
+ROOT = (-1, -1)
+
+AuxNode = tuple[int, int]  # (layer, graph vertex); layers are 1-based
+
+
+@dataclass
+class SampledTreeAnalysis:
+    """Result of analysing one sampled shortcut tree ``T* ∪ E(P)``.
+
+    Attributes:
+        distance_to_end: hop distance in ``T* ∪ E(P)`` from the first path
+            vertex (s) to the last (t); infinite if unreachable.
+        distance_to_layer: map ``k -> `` hop distance from ``s`` to the
+            nearest node of layer ``k`` (``k = 2 .. ℓ+1``).
+        lemma_bound: map ``k ->`` the walk-length bound of Lemma 3.3,
+            ``(c · k_D / N)^{-(k-2)}``, for the ``c`` used in the analysis.
+    """
+
+    distance_to_end: float
+    distance_to_layer: dict[int, float]
+    lemma_bound: dict[int, float]
+
+
+class ShortcutTree:
+    """The auxiliary layered graph ``G_{P,Q,ℓ}`` and its BFS tree ``T_{P,Q,ℓ}``.
+
+    Args:
+        graph: the host graph ``G``.
+        path: the path ``P`` as an ordered list of (distinct) vertices; it
+            must be a path of ``G`` (consecutive vertices adjacent).
+        q_set: the target set ``Q``.
+        ell: the layer-count parameter ``ℓ``; must satisfy
+            ``dist_G(P, Q) <= ell`` for every path vertex, otherwise some
+            path vertices cannot reach the root and are reported as
+            unreachable by the analysis.
+    """
+
+    def __init__(self, graph: Graph, path: list[int], q_set: set[int], ell: int) -> None:
+        if len(path) < 2:
+            raise ValueError("the path must contain at least two vertices")
+        if ell < 1:
+            raise ValueError("ell must be at least 1")
+        if not q_set:
+            raise ValueError("Q must be non-empty")
+        for a, b in zip(path, path[1:]):
+            if not graph.has_edge(a, b):
+                raise ValueError(f"path vertices {a} and {b} are not adjacent in the graph")
+        self.graph = graph
+        self.path = list(path)
+        self.q_set = set(q_set)
+        self.ell = ell
+        self.num_layers = ell + 2  # layers 1..ell+1 plus the root layer
+        self._adjacency = self._build_auxiliary_adjacency()
+        self.tree_parent = self._bfs_tree_from_root()
+
+    # ------------------------------------------------------------------
+    # auxiliary graph
+    # ------------------------------------------------------------------
+    def layer_nodes(self, layer: int) -> list[AuxNode]:
+        """Return the auxiliary nodes of a layer (1-based; ``ell+2`` is the root)."""
+        if layer == 1:
+            return [(1, v) for v in self.path]
+        if 2 <= layer <= self.ell:
+            return [(layer, v) for v in self.graph.vertices()]
+        if layer == self.ell + 1:
+            return [(self.ell + 1, q) for q in sorted(self.q_set)]
+        if layer == self.ell + 2:
+            return [ROOT]
+        raise ValueError(f"layer {layer} out of range [1, {self.ell + 2}]")
+
+    def _layer_vertex_set(self, layer: int) -> set[int]:
+        if layer == 1:
+            return set(self.path)
+        if 2 <= layer <= self.ell:
+            return set(self.graph.vertices())
+        if layer == self.ell + 1:
+            return self.q_set
+        raise ValueError(f"layer {layer} has no graph vertices")
+
+    def _build_auxiliary_adjacency(self) -> dict[AuxNode, list[AuxNode]]:
+        adj: dict[AuxNode, list[AuxNode]] = {}
+
+        def add(a: AuxNode, b: AuxNode) -> None:
+            adj.setdefault(a, []).append(b)
+            adj.setdefault(b, []).append(a)
+
+        # Root to every Q node.
+        for q in self.q_set:
+            add(ROOT, (self.ell + 1, q))
+        # Consecutive layers 1..ell -> 2..ell+1.
+        for layer in range(1, self.ell + 1):
+            upper = layer + 1
+            lower_vertices = self._layer_vertex_set(layer)
+            upper_vertices = self._layer_vertex_set(upper)
+            for v in lower_vertices:
+                if v in upper_vertices:
+                    add((layer, v), (upper, v))
+                for w in self.graph.neighbors(v):
+                    if w in upper_vertices:
+                        add((layer, v), (upper, w))
+        # Make sure isolated path nodes exist in the map.
+        for v in self.path:
+            adj.setdefault((1, v), [])
+        return adj
+
+    def _bfs_tree_from_root(self) -> dict[AuxNode, AuxNode]:
+        from collections import deque
+
+        parent: dict[AuxNode, AuxNode] = {ROOT: ROOT}
+        queue: deque[AuxNode] = deque([ROOT])
+        while queue:
+            u = queue.popleft()
+            for v in self._adjacency.get(u, []):
+                if v not in parent:
+                    parent[v] = u
+                    queue.append(v)
+        return parent
+
+    # ------------------------------------------------------------------
+    def path_leaves_reach_root(self) -> bool:
+        """Return ``True`` if every path vertex appears in the BFS tree.
+
+        This is the structural property guaranteed when ``dist_G(P, Q) <= ℓ``
+        (every leaf ``p_i ∈ P`` is connected to the root by an
+        ``(ℓ+1)``-length path in the auxiliary graph).
+        """
+        return all((1, v) in self.tree_parent for v in self.path)
+
+    def tree_edges(self) -> set[tuple[AuxNode, AuxNode]]:
+        """Return the BFS tree edges as ``(child, parent)`` pairs (root excluded)."""
+        return {
+            (child, parent)
+            for child, parent in self.tree_parent.items()
+            if child != parent
+        }
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sampled_adjacency(
+        self,
+        *,
+        probability: Optional[float] = None,
+        repetition_edges: Optional[list[set[tuple[int, int]]]] = None,
+        rng: RandomLike = None,
+    ) -> dict[AuxNode, list[AuxNode]]:
+        """Build the adjacency of ``T* = T_{P,Q,ℓ}[p] ∪ E(P)``.
+
+        Exactly one of ``probability`` / ``repetition_edges`` must be given:
+
+        * ``probability``: every non-self tree edge between layers
+          ``k >= 2`` and ``k+1`` is kept independently with this probability
+          (fresh randomness — the "stand-alone" analysis mode);
+        * ``repetition_edges``: a list of directed ``G``-edge sets, one per
+          construction repetition; a tree edge between layers ``k`` and
+          ``k+1`` that copies the ``G``-edge ``(v_i, v_j)`` is kept iff
+          ``(v_i, v_j)`` is in repetition ``k-2`` (0-based), reproducing the
+          paper's coupling of the tree sampling with the shortcut sampling.
+
+        Edges of ``E(L_1, L_2)``, edges at the root and self-copy edges are
+        always kept; the path edges ``E(P)`` are added inside layer 1.
+        """
+        if (probability is None) == (repetition_edges is None):
+            raise ValueError("provide exactly one of probability / repetition_edges")
+        r = rng if isinstance(rng, random.Random) else random.Random(rng)
+
+        adj: dict[AuxNode, list[AuxNode]] = {}
+
+        def add(a: AuxNode, b: AuxNode) -> None:
+            adj.setdefault(a, []).append(b)
+            adj.setdefault(b, []).append(a)
+
+        for child, parent in self.tree_edges():
+            # Order so that "lower" is the smaller layer (the root has the
+            # sentinel layer -1, treated as the topmost layer ell+2).
+            lower, upper = child, parent
+            lower_layer = lower[0] if lower != ROOT else self.ell + 2
+            upper_layer = upper[0] if upper != ROOT else self.ell + 2
+            if lower_layer > upper_layer:
+                lower, upper = upper, lower
+                lower_layer, upper_layer = upper_layer, lower_layer
+
+            keep: bool
+            if upper_layer == self.ell + 2:
+                keep = True  # root edges
+            elif lower_layer == 1:
+                keep = True  # E(L1, L2) edges are deterministic (Step 1 analogue)
+            elif lower != ROOT and upper != ROOT and lower[1] == upper[1]:
+                keep = True  # self-copy edge
+            else:
+                if probability is not None:
+                    keep = r.random() < probability
+                else:
+                    # Non-self edge (v_i at layer k) -- (v_j at layer k+1):
+                    # kept iff (v_i, v_j) was sampled in repetition k-1
+                    # (1-based in the paper; our list is 0-based).
+                    k = lower_layer
+                    rep_index = k - 2
+                    assert repetition_edges is not None
+                    if rep_index < 0 or rep_index >= len(repetition_edges):
+                        keep = False
+                    else:
+                        keep = (lower[1], upper[1]) in repetition_edges[rep_index] or (
+                            upper[1],
+                            lower[1],
+                        ) in repetition_edges[rep_index]
+            if keep:
+                add(lower, upper)
+
+        # E(P): the path edges inside layer 1.
+        for a, b in zip(self.path, self.path[1:]):
+            add((1, a), (1, b))
+        return adj
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        *,
+        probability: Optional[float] = None,
+        repetition_edges: Optional[list[set[tuple[int, int]]]] = None,
+        rng: RandomLike = None,
+        diameter_value: Optional[int] = None,
+        constant_c: float = 8.0,
+    ) -> SampledTreeAnalysis:
+        """Sample ``T*`` and measure the distances Lemma 3.3 bounds.
+
+        Args:
+            probability, repetition_edges, rng: see :meth:`sampled_adjacency`.
+            diameter_value: the diameter ``D`` used for the bound values
+                (default: ``2 * ell``, the relation used in the paper's
+                application of the trees).
+            constant_c: the constant ``c >= 8`` of Lemma 3.3.
+
+        Returns:
+            A :class:`SampledTreeAnalysis` with the measured distances from
+            the first path vertex and the corresponding lemma bounds.
+        """
+        from collections import deque
+
+        adj = self.sampled_adjacency(
+            probability=probability, repetition_edges=repetition_edges, rng=rng
+        )
+        source: AuxNode = (1, self.path[0])
+        dist: dict[AuxNode, int] = {source: 0}
+        queue: deque[AuxNode] = deque([source])
+        while queue:
+            u = queue.popleft()
+            for v in adj.get(u, []):
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+
+        end_node: AuxNode = (1, self.path[-1])
+        distance_to_end = float(dist.get(end_node, INFINITY))
+
+        distance_to_layer: dict[int, float] = {}
+        for k in range(2, self.ell + 2):
+            best = INFINITY
+            for node in self.layer_nodes(k):
+                d = dist.get(node)
+                if d is not None and d < best:
+                    best = float(d)
+            distance_to_layer[k] = best
+
+        n = self.graph.num_vertices
+        if diameter_value is None:
+            diameter_value = max(2, 2 * self.ell)
+        k_d = k_d_value(n, diameter_value)
+        n_large = num_large_parts(n, diameter_value)
+        ratio = max(n_large / (constant_c * k_d), 1.0)
+        lemma_bound = {k: ratio ** (k - 2) for k in range(2, self.ell + 2)}
+
+        return SampledTreeAnalysis(
+            distance_to_end=distance_to_end,
+            distance_to_layer=distance_to_layer,
+            lemma_bound=lemma_bound,
+        )

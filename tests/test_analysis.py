@@ -1,0 +1,167 @@
+"""Unit tests for the analysis layer: bound curves and the experiment harness."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    ExperimentTable,
+    crossover_size,
+    geometric_sizes,
+    make_weighted_workload,
+    make_workload,
+    normalized_ratio,
+    run_applications_experiment,
+    run_baseline_experiment,
+    run_congestion_experiment,
+    run_dilation_experiment,
+    run_distributed_experiment,
+    run_mincut_experiment,
+    run_mst_experiment,
+    run_quality_experiment,
+    run_shortcut_tree_experiment,
+    summarize_ratios,
+)
+from repro.graphs import diameter, is_connected, validate_parts
+
+
+class TestRatioUtilities:
+    def test_normalized_ratio(self):
+        assert normalized_ratio(10, 5) == 2.0
+        assert normalized_ratio(1, 0) == float("inf")
+
+    def test_summarize_ratios(self):
+        summary = summarize_ratios([1.0, 2.0, 3.0])
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.mean == 2.0
+        assert summary.drift == 3.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_ratios([])
+
+    def test_geometric_sizes(self):
+        assert geometric_sizes(100, 2.0, 3) == [100, 200, 400]
+
+    def test_geometric_sizes_validation(self):
+        with pytest.raises(ValueError):
+            geometric_sizes(0, 2.0, 3)
+        with pytest.raises(ValueError):
+            geometric_sizes(10, 1.0, 3)
+
+    def test_crossover_exists_for_d6(self):
+        n_star = crossover_size(6)
+        # The KP curve k_D log n falls below sqrt(n) somewhere between 10^10
+        # and 10^20 for D = 6.
+        assert 1e10 < n_star < 1e20
+
+    def test_crossover_smaller_without_log(self):
+        assert crossover_size(6, log_factor=0.1) < crossover_size(6, log_factor=1.0)
+
+
+class TestExperimentTable:
+    def test_add_row_and_column(self):
+        t = ExperimentTable("T", "test", headers=["a", "b"])
+        t.add_row(1, 2)
+        t.add_row(3, 4)
+        assert t.column("b") == [2, 4]
+
+    def test_row_length_checked(self):
+        t = ExperimentTable("T", "test", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_render_contains_headers_and_values(self):
+        t = ExperimentTable("T", "demo", headers=["alpha", "beta"], notes=["hello"])
+        t.add_row(1, 2.5)
+        text = t.render()
+        assert "alpha" in text and "beta" in text
+        assert "2.5" in text
+        assert "note: hello" in text
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("kind", ["hub", "lower_bound", "cluster"])
+    def test_workload_is_valid(self, kind):
+        w = make_workload(kind, 150, 6, seed=1)
+        assert is_connected(w.graph)
+        assert diameter(w.graph) == w.diameter
+        validate_parts(w.graph, [set(p) for p in w.partition.parts])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("unknown", 100, 6)
+
+    def test_weighted_workload(self):
+        wg, d = make_weighted_workload("hub", 100, 6, seed=2)
+        assert d == 6
+        weights = [w for _, _, w in wg.weighted_edges()]
+        assert all(w > 0 for w in weights)
+
+    def test_workload_determinism(self):
+        w1 = make_workload("lower_bound", 150, 6, seed=5)
+        w2 = make_workload("lower_bound", 150, 6, seed=5)
+        assert w1.graph == w2.graph
+        assert w1.partition.parts == w2.partition.parts
+
+
+class TestExperimentRunners:
+    """Each experiment runner is executed with tiny parameters; the goal is
+    to verify the harness produces well-formed tables whose key relations
+    hold (the full-size numbers live in EXPERIMENTS.md)."""
+
+    def test_quality_experiment(self):
+        t = run_quality_experiment(sizes=(120,), diameters=(4,), trials=1, seed=1)
+        assert t.experiment_id == "E1"
+        assert len(t.rows) == 1
+        ratio = t.column("ratio")[0]
+        assert 0 < ratio < 10
+
+    def test_congestion_experiment(self):
+        t = run_congestion_experiment(sizes=(120,), seed=1)
+        assert len(t.rows) == 1
+        congestion, predicted = t.column("congestion")[0], t.column("predicted")[0]
+        assert congestion <= 4 * predicted
+
+    def test_dilation_experiment(self):
+        t = run_dilation_experiment(sizes=(120,), diameters=(6,), seed=1)
+        row = t.rows[0]
+        induced = t.column("induced_diam")[0]
+        dilation = t.column("dilation")[0]
+        assert dilation <= induced
+
+    def test_baseline_experiment(self):
+        t = run_baseline_experiment(sizes=(120,), diameters=(6,), seed=1)
+        assert len(t.rows) == 1
+        kp = t.column("kp_quality")[0]
+        naive = t.column("naive_quality")[0]
+        lower = t.column("lower_bound")[0]
+        assert kp >= lower * 0.5  # cannot beat the lower bound by much
+        assert kp <= 20 * lower  # and tracks it within a modest factor
+
+    def test_distributed_experiment(self):
+        t = run_distributed_experiment(sizes=(60,), seed=1)
+        assert t.column("spanning")[0] is True
+        assert t.column("rounds")[0] > 0
+
+    def test_mst_experiment(self):
+        t = run_mst_experiment(sizes=(80,), seed=1)
+        assert t.column("weight_matches_kruskal")[0] is True
+        assert t.column("naive_rounds")[0] >= t.column("kp_rounds")[0]
+
+    def test_mincut_experiment(self):
+        t = run_mincut_experiment(half_sizes=(15,), cut_edges=(3,), seed=1)
+        assert t.column("ratio")[0] == pytest.approx(1.0)
+
+    def test_applications_experiment(self):
+        t = run_applications_experiment(sizes=(80,), seed=1)
+        assert t.column("sssp_stretch")[0] >= 1.0
+        assert t.column("ecss_2ec")[0] is True
+
+    def test_shortcut_tree_experiment(self):
+        t = run_shortcut_tree_experiment(sizes=(120,), trials=5, probabilities=(0.2, 0.8), seed=1)
+        assert len(t.rows) == 2
+        assert all(0 <= r <= 1 for r in t.column("success_rate"))

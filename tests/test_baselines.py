@@ -1,0 +1,121 @@
+"""Unit tests for the baseline shortcut constructions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import cluster_star_graph, hub_diameter_graph, lower_bound_instance, path_partition
+from repro.shortcuts import (
+    Partition,
+    build_empty_shortcut,
+    build_ghaffari_haeupler_shortcut,
+    build_kitamura_style_shortcut,
+    build_kogan_parter_shortcut,
+    build_naive_shortcut,
+)
+
+
+@pytest.fixture
+def lb_setup():
+    inst = lower_bound_instance(200, 6)
+    return inst.graph, Partition(inst.graph, inst.parts)
+
+
+class TestGhaffariHaeupler:
+    def test_large_parts_get_whole_graph(self, lb_setup):
+        graph, partition = lb_setup
+        sc = build_ghaffari_haeupler_shortcut(graph, partition)
+        all_edges = set(graph.edges())
+        threshold = math.sqrt(graph.num_vertices)
+        for i in range(partition.num_parts):
+            if len(partition.part(i)) > threshold:
+                assert sc.subgraph_edges(i) == all_edges
+            else:
+                assert sc.subgraph_edges(i) == set()
+
+    def test_quality_within_sqrt_n_plus_d(self, lb_setup):
+        graph, partition = lb_setup
+        sc = build_ghaffari_haeupler_shortcut(graph, partition)
+        report = sc.quality_report()
+        n = graph.num_vertices
+        assert report.quality <= 2 * (math.sqrt(n) + 6) + 2
+
+    def test_congestion_bounded_by_num_large_parts(self, lb_setup):
+        graph, partition = lb_setup
+        sc = build_ghaffari_haeupler_shortcut(graph, partition)
+        threshold = math.sqrt(graph.num_vertices)
+        num_large = sum(1 for p in partition.parts if len(p) > threshold)
+        # every edge is in every large part's subgraph plus at most 2 step-free
+        # induced memberships
+        assert sc.congestion() <= num_large + 2
+
+    def test_custom_threshold(self, lb_setup):
+        graph, partition = lb_setup
+        sc = build_ghaffari_haeupler_shortcut(graph, partition, size_threshold=10 ** 9)
+        assert all(sc.subgraph_edges(i) == set() for i in range(partition.num_parts))
+
+
+class TestKitamuraStyle:
+    def test_single_repetition(self, lb_setup):
+        graph, partition = lb_setup
+        result = build_kitamura_style_shortcut(graph, partition, diameter_value=6, rng=1)
+        assert result.parameters.repetitions == 1
+
+    def test_dilation_at_least_as_large_as_kp(self, lb_setup):
+        """A single sampling repetition cannot beat D repetitions with the
+        same per-repetition probability (statistically; checked on one seed
+        with the same randomness stream)."""
+        graph, partition = lb_setup
+        kp = build_kogan_parter_shortcut(
+            graph, partition, diameter_value=6, log_factor=0.25, rng=7
+        )
+        kit = build_kitamura_style_shortcut(
+            graph, partition, diameter_value=6, log_factor=0.25, rng=7
+        )
+        assert kit.shortcut.total_shortcut_edges() <= kp.shortcut.total_shortcut_edges()
+
+    def test_valid_for_diameter_three_and_four(self):
+        for d in (3, 4):
+            g = hub_diameter_graph(120, d, extra_edge_prob=0.03, rng=d)
+            parts = path_partition(g, 6, 8, rng=1)
+            partition = Partition(g, parts)
+            result = build_kitamura_style_shortcut(g, partition, diameter_value=d, rng=2)
+            assert result.shortcut.dilation(exact=False) < float("inf")
+
+
+class TestNaiveAndEmpty:
+    def test_naive_dilation_equals_graph_diameter(self, lb_setup):
+        graph, partition = lb_setup
+        sc = build_naive_shortcut(graph, partition)
+        assert sc.dilation(exact=False) <= 6
+
+    def test_naive_congestion_equals_num_parts(self, lb_setup):
+        graph, partition = lb_setup
+        sc = build_naive_shortcut(graph, partition)
+        assert sc.congestion() == partition.num_parts
+
+    def test_empty_congestion_at_most_one(self, lb_setup):
+        graph, partition = lb_setup
+        sc = build_empty_shortcut(graph, partition)
+        assert sc.congestion() <= 1
+
+    def test_empty_dilation_equals_induced_diameter(self, lb_setup):
+        graph, partition = lb_setup
+        sc = build_empty_shortcut(graph, partition)
+        expected = max(partition.induced_diameter(i) for i in range(partition.num_parts))
+        assert sc.dilation() == expected
+
+    def test_quality_ordering_between_extremes(self, lb_setup):
+        """The KP construction is never worse than BOTH trivial extremes at
+        once: it interpolates between the naive (low dilation, high
+        congestion) and empty (high dilation, low congestion) shortcuts."""
+        graph, partition = lb_setup
+        kp = build_kogan_parter_shortcut(
+            graph, partition, diameter_value=6, log_factor=0.25, rng=3
+        ).shortcut
+        naive = build_naive_shortcut(graph, partition)
+        empty = build_empty_shortcut(graph, partition)
+        assert kp.dilation(exact=False) <= empty.dilation(exact=False)
+        assert kp.congestion() <= naive.congestion() + 2

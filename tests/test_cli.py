@@ -1,0 +1,84 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import ENGINES, build_parser, main
+from repro.io import load_json
+from repro.shortcuts import Shortcut
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_engine_choices(self):
+        args = build_parser().parse_args(["shortcut", "--engine", "naive"])
+        assert args.engine == "naive"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["shortcut", "--engine", "bogus"])
+
+
+class TestInfoCommand:
+    def test_prints_parameters(self, capsys):
+        assert main(["info", "--n", "1000", "-D", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "k_D" in out
+        assert "Elkin lower bound" in out
+        assert "1000" in out
+
+
+class TestShortcutCommand:
+    def test_kogan_parter_run(self, capsys):
+        code = main([
+            "shortcut", "--n", "150", "-D", "6", "--workload", "lower_bound",
+            "--engine", "kogan-parter", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "congestion" in out and "dilation" in out and "quality" in out
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_every_engine_runs(self, engine, capsys):
+        code = main([
+            "shortcut", "--n", "120", "-D", "4", "--workload", "lower_bound",
+            "--engine", engine, "--seed", "1",
+        ])
+        assert code == 0
+
+    def test_save_writes_loadable_shortcut(self, tmp_path, capsys):
+        out_file = tmp_path / "sc.json"
+        code = main([
+            "shortcut", "--n", "120", "-D", "4", "--workload", "lower_bound",
+            "--seed", "1", "--save", str(out_file),
+        ])
+        assert code == 0
+        loaded = load_json(out_file)
+        assert isinstance(loaded, Shortcut)
+        assert loaded.num_parts > 0
+
+
+class TestMSTCommand:
+    def test_mst_run_reports_match(self, capsys):
+        code = main(["mst", "--n", "120", "-D", "6", "--workload", "hub", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "weights match   : True" in out
+        assert "charged rounds" in out
+
+
+class TestExperimentsCommand:
+    def test_single_experiment(self, capsys):
+        code = main(["experiments", "--experiment", "E11"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "E11" in out
+        assert "repetitions" in out

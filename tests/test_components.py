@@ -1,0 +1,118 @@
+"""Unit tests for connected components and the union-find structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    UnionFind,
+    components_from_edges,
+    connected_components,
+    cycle_graph,
+    erdos_renyi_graph,
+    is_connected,
+    path_graph,
+    spanning_forest,
+)
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        comps = connected_components(path_graph(5))
+        assert comps == [set(range(5))]
+
+    def test_multiple_components(self):
+        g = Graph(6, [(0, 1), (2, 3), (4, 5)])
+        comps = connected_components(g)
+        assert comps == [{0, 1}, {2, 3}, {4, 5}]
+
+    def test_isolated_vertices(self):
+        g = Graph(4, [(0, 1)])
+        comps = connected_components(g)
+        assert {2} in comps and {3} in comps
+
+    def test_restricted_to_subset(self):
+        g = path_graph(6)
+        comps = connected_components(g, vertices={0, 1, 3, 4})
+        assert comps == [{0, 1}, {3, 4}]
+
+    def test_deterministic_order(self):
+        g = Graph(6, [(5, 4), (1, 0)])
+        comps = connected_components(g)
+        assert comps[0] == {0, 1}
+
+
+class TestComponentsFromEdges:
+    def test_basic(self):
+        comps = components_from_edges(6, [(0, 1), (1, 2), (4, 5)])
+        assert comps == [{0, 1, 2}, {4, 5}]
+
+    def test_include_isolated(self):
+        comps = components_from_edges(5, [(0, 1)], include_isolated=True)
+        assert {2} in comps and {3} in comps and {4} in comps
+
+    def test_empty_edges(self):
+        assert components_from_edges(3, []) == []
+        assert components_from_edges(3, [], include_isolated=True) == [{0}, {1}, {2}]
+
+
+class TestUnionFind:
+    def test_initial_state(self):
+        uf = UnionFind(4)
+        assert uf.num_sets == 4
+        assert not uf.connected(0, 1)
+
+    def test_union_and_find(self):
+        uf = UnionFind(5)
+        assert uf.union(0, 1) is True
+        assert uf.union(1, 0) is False
+        assert uf.connected(0, 1)
+        assert uf.num_sets == 4
+
+    def test_transitive_union(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+        assert uf.set_size(0) == 3
+
+    def test_groups(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(3, 4)
+        groups = uf.groups()
+        assert {0, 1} in groups and {3, 4} in groups and {2} in groups
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_many_unions(self):
+        uf = UnionFind(100)
+        for i in range(99):
+            uf.union(i, i + 1)
+        assert uf.num_sets == 1
+        assert uf.set_size(50) == 100
+
+
+class TestSpanningForest:
+    def test_tree_size_on_connected_graph(self):
+        g = cycle_graph(8)
+        forest = spanning_forest(g)
+        assert len(forest) == 7
+
+    def test_forest_on_disconnected_graph(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4)])
+        forest = spanning_forest(g)
+        assert len(forest) == 3
+
+    def test_forest_is_acyclic_and_spanning(self):
+        g = erdos_renyi_graph(30, 0.2, rng=4)
+        forest = spanning_forest(g)
+        sub = Graph(30, forest)
+        comps_full = connected_components(g)
+        comps_forest = connected_components(sub)
+        assert comps_full == comps_forest
+        # acyclic: edges = vertices - components
+        assert len(forest) == 30 - len(comps_full)

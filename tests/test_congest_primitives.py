@@ -1,0 +1,263 @@
+"""Unit tests for the distributed primitives: BFS, flooding, aggregation,
+diameter estimation and the random-delay scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import Network, RandomDelayScheduler, draw_random_delays
+from repro.congest.primitives import (
+    DistributedBFS,
+    FloodMax,
+    TreeAggregate,
+    extract_bfs_tree,
+    make_diameter_estimation,
+    read_aggregate,
+    read_diameter_estimate,
+    read_leaders,
+)
+from repro.graphs import (
+    Graph,
+    bfs_distances,
+    cycle_graph,
+    diameter,
+    erdos_renyi_graph,
+    grid_graph,
+    hub_diameter_graph,
+    path_graph,
+    star_graph,
+)
+
+
+class TestDistributedBFS:
+    def test_matches_centralized_bfs(self):
+        g = grid_graph(5, 6)
+        net = Network(g)
+        metrics = net.run(DistributedBFS({0}))
+        _, dist = extract_bfs_tree(net)
+        assert dist == bfs_distances(g, 0)
+        assert metrics.terminated
+
+    def test_round_count_close_to_eccentricity(self):
+        g = path_graph(20)
+        net = Network(g)
+        metrics = net.run(DistributedBFS({0}))
+        _, dist = extract_bfs_tree(net)
+        ecc = max(dist.values())
+        # one round per BFS level plus the final quiescence check
+        assert ecc <= metrics.rounds <= ecc + 2
+
+    def test_multi_source(self):
+        g = path_graph(11)
+        net = Network(g)
+        net.run(DistributedBFS({0, 10}))
+        _, dist = extract_bfs_tree(net)
+        assert dist[5] == 5
+        assert dist[2] == 2
+        assert dist[8] == 2
+
+    def test_max_depth_truncation(self):
+        g = path_graph(12)
+        net = Network(g)
+        net.run(DistributedBFS({0}, max_depth=4))
+        _, dist = extract_bfs_tree(net)
+        assert max(dist.values()) == 4
+        assert len(dist) == 5
+
+    def test_allowed_adjacency_restriction(self):
+        g = cycle_graph(8)
+        # Only the edges of the upper half are usable.
+        allowed = {0: {1}, 1: {0, 2}, 2: {1, 3}, 3: {2}}
+        net = Network(g)
+        net.run(DistributedBFS({0}, allowed_adjacency=allowed))
+        _, dist = extract_bfs_tree(net)
+        assert set(dist) == {0, 1, 2, 3}
+        assert dist[3] == 3  # cannot use the short way around the cycle
+
+    def test_parent_pointers_form_tree(self):
+        g = erdos_renyi_graph(40, 0.15, rng=2)
+        net = Network(g)
+        net.run(DistributedBFS({0}))
+        parent, dist = extract_bfs_tree(net)
+        for v, p in parent.items():
+            if v != 0:
+                assert dist[v] == dist[p] + 1
+
+    def test_requires_source(self):
+        with pytest.raises(ValueError):
+            DistributedBFS(set())
+
+    def test_root_state(self):
+        g = star_graph(5)
+        net = Network(g)
+        net.run(DistributedBFS({0}, prefix="x_"))
+        assert net.node(3).state["x_root"] == 0
+        assert net.node(0).state["x_parent"] == 0
+
+
+class TestFloodMax:
+    def test_elects_global_max(self):
+        g = erdos_renyi_graph(30, 0.2, rng=3)
+        net = Network(g)
+        net.run(FloodMax())
+        leaders = read_leaders(net)
+        # every vertex in the same component as 29 learns 29
+        dist = bfs_distances(g, 29)
+        for v in dist:
+            assert leaders[v] == 29
+
+    def test_rounds_bounded_by_diameter(self):
+        g = hub_diameter_graph(80, 6, rng=4)
+        net = Network(g)
+        metrics = net.run(FloodMax())
+        assert metrics.rounds <= 6 + 2
+
+    def test_restricted_to_parts(self):
+        g = path_graph(10)
+        allowed = {0: {1}, 1: {0}, 5: {6}, 6: {5}}
+        net = Network(g)
+        net.run(FloodMax(allowed_adjacency=allowed))
+        leaders = read_leaders(net)
+        assert leaders[0] == 1 and leaders[1] == 1
+        assert leaders[5] == 6 and leaders[6] == 6
+        assert 3 not in leaders  # non-participants produce no output
+
+
+class TestTreeAggregate:
+    def build_tree(self, g: Graph, root: int) -> Network:
+        net = Network(g)
+        net.run(DistributedBFS({root}))
+        return net
+
+    def test_count_nodes(self):
+        g = grid_graph(4, 5)
+        net = self.build_tree(g, 0)
+        net.run(TreeAggregate("count"), reset=False)
+        results = read_aggregate(net, roots={0})
+        assert results[0] == 20
+
+    def test_sum_values(self):
+        g = star_graph(6)
+        net = self.build_tree(g, 0)
+        for v in range(6):
+            net.node(v).state["val"] = v
+        net.run(TreeAggregate("sum", value_key="val"), reset=False)
+        assert read_aggregate(net, roots={0})[0] == sum(range(6))
+
+    def test_min_and_broadcast(self):
+        g = cycle_graph(9)
+        net = self.build_tree(g, 0)
+        for v in range(9):
+            net.node(v).state["val"] = 100 - v
+        net.run(
+            TreeAggregate("min", value_key="val", broadcast_result=True), reset=False
+        )
+        results = read_aggregate(net)
+        assert set(results.values()) == {100 - 8}
+        assert len(results) == 9  # every node received the broadcast
+
+    def test_max_aggregation(self):
+        g = path_graph(7)
+        net = self.build_tree(g, 3)
+        for v in range(7):
+            net.node(v).state["val"] = v * v
+        net.run(TreeAggregate("max", value_key="val"), reset=False)
+        assert read_aggregate(net, roots={3})[3] == 36
+
+    def test_unsupported_op(self):
+        with pytest.raises(ValueError):
+            TreeAggregate("median")
+
+    def test_missing_value_key_for_sum(self):
+        g = path_graph(3)
+        net = self.build_tree(g, 0)
+        with pytest.raises(ValueError):
+            net.run(TreeAggregate("sum"), reset=False)
+
+    def test_non_participants_ignored(self):
+        g = path_graph(6)
+        net = Network(g)
+        # BFS truncated at depth 2: nodes 3..5 have no tree state.
+        net.run(DistributedBFS({0}, max_depth=2))
+        net.run(TreeAggregate("count"), reset=False)
+        assert read_aggregate(net, roots={0})[0] == 3
+
+
+class TestDiameterEstimation:
+    @pytest.mark.parametrize("target", [3, 4, 6])
+    def test_bounds_contain_true_diameter(self, target):
+        g = hub_diameter_graph(70, target, rng=5)
+        net = Network(g)
+        net.run(make_diameter_estimation(g.num_vertices))
+        lower, upper = read_diameter_estimate(net)
+        assert lower <= target <= upper
+        assert upper == 2 * lower
+
+    def test_path_graph(self):
+        g = path_graph(12)
+        net = Network(g)
+        net.run(make_diameter_estimation(12))
+        lower, upper = read_diameter_estimate(net)
+        assert lower <= 11 <= upper
+
+
+class TestRandomDelayScheduler:
+    def test_draw_delays_range(self):
+        delays = draw_random_delays(50, 7, rng=1)
+        assert len(delays) == 50
+        assert all(0 <= d <= 7 for d in delays)
+
+    def test_draw_delays_validation(self):
+        with pytest.raises(ValueError):
+            draw_random_delays(-1, 5)
+        with pytest.raises(ValueError):
+            draw_random_delays(5, -1)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            RandomDelayScheduler([DistributedBFS({0})], [1, 2])
+
+    def test_concurrent_bfs_all_correct(self):
+        g = grid_graph(6, 6)
+        sources = [0, 17, 35]
+        algos = [
+            DistributedBFS({s}, prefix=f"b{i}_", algorithm_id=i)
+            for i, s in enumerate(sources)
+        ]
+        delays = draw_random_delays(len(algos), 3, rng=2)
+        net = Network(g)
+        metrics = net.run(RandomDelayScheduler(algos, delays))
+        assert metrics.terminated
+        for i, s in enumerate(sources):
+            dist = {
+                v: ctx.state[f"b{i}_dist"]
+                for v, ctx in net.nodes.items()
+                if f"b{i}_dist" in ctx.state
+            }
+            assert dist == bfs_distances(g, s)
+
+    def test_delays_do_not_lose_algorithms(self):
+        g = path_graph(6)
+        algos = [
+            DistributedBFS({0}, prefix="a_", algorithm_id=0),
+            DistributedBFS({5}, prefix="b_", algorithm_id=1),
+        ]
+        net = Network(g)
+        net.run(RandomDelayScheduler(algos, [0, 4]))
+        assert net.node(5).state["a_dist"] == 5
+        assert net.node(0).state["b_dist"] == 5
+
+    def test_congestion_stretches_rounds(self):
+        # Many BFS instances sharing one path: with bandwidth 1 the rounds
+        # must exceed the single-BFS rounds because messages queue.
+        g = path_graph(12)
+        num = 8
+        algos = [
+            DistributedBFS({0}, prefix=f"c{i}_", algorithm_id=i) for i in range(num)
+        ]
+        net = Network(g)
+        many = net.run(RandomDelayScheduler(algos, [0] * num))
+        net_single = Network(g)
+        single = net_single.run(DistributedBFS({0}))
+        assert many.rounds > single.rounds
+        assert many.terminated

@@ -1,0 +1,71 @@
+"""Unit tests for the fully simulated distributed Boruvka MST."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications import distributed_boruvka_mst, kruskal_mst
+from repro.graphs import (
+    cycle_graph,
+    grid_graph,
+    hub_diameter_graph,
+    lower_bound_instance,
+    with_random_weights,
+)
+
+
+class TestDistributedBoruvkaCorrectness:
+    @pytest.mark.parametrize("use_shortcuts", [True, False])
+    def test_matches_kruskal_on_grid(self, use_shortcuts):
+        g = grid_graph(5, 5)
+        wg = with_random_weights(g, rng=1)
+        result = distributed_boruvka_mst(wg, use_shortcuts=use_shortcuts, rng=2)
+        _, kruskal_weight = kruskal_mst(wg)
+        assert result.weight == pytest.approx(kruskal_weight)
+        assert len(result.edges) == 24
+        assert result.used_shortcuts == use_shortcuts
+
+    def test_matches_kruskal_on_hub_graph(self):
+        g = hub_diameter_graph(80, 6, extra_edge_prob=0.03, rng=3)
+        wg = with_random_weights(g, rng=4)
+        result = distributed_boruvka_mst(wg, use_shortcuts=True, log_factor=0.3, rng=5)
+        _, kruskal_weight = kruskal_mst(wg)
+        assert result.weight == pytest.approx(kruskal_weight)
+
+    def test_matches_kruskal_on_cycle(self):
+        wg = with_random_weights(cycle_graph(20), rng=6)
+        result = distributed_boruvka_mst(wg, use_shortcuts=False, rng=7)
+        _, kruskal_weight = kruskal_mst(wg)
+        assert result.weight == pytest.approx(kruskal_weight)
+        assert len(result.edges) == 19
+
+
+class TestDistributedBoruvkaRounds:
+    def test_round_bookkeeping(self):
+        g = grid_graph(5, 5)
+        wg = with_random_weights(g, rng=8)
+        result = distributed_boruvka_mst(wg, use_shortcuts=True, rng=9)
+        assert result.phases == len(result.simulated_rounds_per_phase)
+        assert result.phases == len(result.modelled_rounds_per_phase)
+        assert result.total_rounds == sum(result.simulated_rounds_per_phase) + sum(
+            result.modelled_rounds_per_phase
+        )
+        assert all(r > 0 for r in result.simulated_rounds_per_phase)
+
+    def test_shortcuts_help_on_long_fragment_instances(self):
+        """On the lower-bound topology the fragments quickly become long
+        paths: the simulated MWOE stage over shortcut-augmented subgraphs
+        needs no more rounds than the induced-edges-only baseline (usually
+        strictly fewer once fragments are long)."""
+        inst = lower_bound_instance(120, 6)
+        wg = with_random_weights(inst.graph, rng=10)
+        with_sc = distributed_boruvka_mst(
+            wg, use_shortcuts=True, diameter_value=6, log_factor=0.3, rng=11
+        )
+        without_sc = distributed_boruvka_mst(wg, use_shortcuts=False, rng=12)
+        assert with_sc.weight == pytest.approx(without_sc.weight)
+        # Compare the dominant (simulated) per-phase cost in the late phases,
+        # where fragments are long.
+        assert max(with_sc.simulated_rounds_per_phase) <= max(
+            without_sc.simulated_rounds_per_phase
+        ) + 5

@@ -1,0 +1,153 @@
+"""Unit tests for the distributed (CONGEST) shortcut construction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.congest import Network
+from repro.graphs import hub_diameter_graph, lower_bound_instance, path_partition
+from repro.params import k_d_value
+from repro.shortcuts import (
+    Partition,
+    build_distributed_kogan_parter,
+    detect_large_parts,
+    verify_shortcut,
+)
+
+
+@pytest.fixture
+def small_lb():
+    inst = lower_bound_instance(80, 6)
+    return inst, Partition(inst.graph, inst.parts)
+
+
+class TestDetectLargeParts:
+    def test_long_paths_detected(self, small_lb):
+        inst, partition = small_lb
+        network = Network(inst.graph)
+        network.reset()
+        depth = max(1, math.ceil(k_d_value(inst.graph.num_vertices, 6)))
+        large, rounds = detect_large_parts(network, partition, depth)
+        # every path part is much longer than k_D, so radius from the leader
+        # (an endpoint or interior vertex) exceeds the detection depth
+        for i in large:
+            assert len(partition.part(i)) > depth
+        assert rounds > depth
+
+    def test_small_parts_not_detected(self):
+        g = hub_diameter_graph(100, 6, rng=1)
+        # tiny parts near the hubs
+        parts = [{7, 8} if g.has_edge(7, 8) else {7}]
+        parts = [p for p in parts if len(p) > 0]
+        partition = Partition(g, [{i} for i in range(10, 16)])
+        network = Network(g)
+        network.reset()
+        large, _ = detect_large_parts(network, partition, depth=3)
+        assert large == []
+
+
+class TestDistributedConstruction:
+    def test_spanning_and_valid(self, small_lb):
+        inst, partition = small_lb
+        result = build_distributed_kogan_parter(
+            inst.graph, partition, diameter_value=6, log_factor=0.3, rng=1
+        )
+        assert result.spanning_ok
+        assert verify_shortcut(result.shortcut).valid
+
+    def test_rounds_breakdown_structure(self, small_lb):
+        inst, partition = small_lb
+        result = build_distributed_kogan_parter(
+            inst.graph, partition, diameter_value=6, log_factor=0.3, rng=2
+        )
+        breakdown = result.rounds_breakdown
+        expected_keys = {
+            "detect_large_parts",
+            "number_large_parts",
+            "local_sampling",
+            "concurrent_bfs",
+            "verification",
+        }
+        assert set(breakdown) == expected_keys
+        assert result.total_rounds == sum(breakdown.values())
+        assert breakdown["local_sampling"] == 0
+        assert breakdown["concurrent_bfs"] > 0  # the paths are large parts
+
+    def test_rounds_within_polylog_of_k_d(self, small_lb):
+        inst, partition = small_lb
+        result = build_distributed_kogan_parter(
+            inst.graph, partition, diameter_value=6, log_factor=0.3, rng=3
+        )
+        n = inst.graph.num_vertices
+        bound = 20 * k_d_value(n, 6) * (math.log(n) ** 2)
+        assert result.total_rounds <= bound
+
+    def test_measures_diameter_when_omitted(self, small_lb):
+        inst, partition = small_lb
+        result = build_distributed_kogan_parter(
+            inst.graph, partition, log_factor=0.3, rng=4
+        )
+        assert result.accepted_guess == 6
+
+    def test_unknown_diameter_guessing(self, small_lb):
+        inst, partition = small_lb
+        result = build_distributed_kogan_parter(
+            inst.graph,
+            partition,
+            diameter_value=6,
+            known_diameter=False,
+            log_factor=0.3,
+            rng=5,
+        )
+        assert result.spanning_ok
+        assert result.attempted_guesses[0] == 3  # BFS 2-approx lower bound
+        assert result.accepted_guess <= 6
+        # The accepted guess's shortcut must still span every part.
+        assert verify_shortcut(result.shortcut).valid
+
+    def test_bfs_metrics_recorded(self, small_lb):
+        inst, partition = small_lb
+        result = build_distributed_kogan_parter(
+            inst.graph, partition, diameter_value=6, log_factor=0.3, rng=6
+        )
+        assert result.bfs_metrics is not None
+        assert result.bfs_metrics.rounds == result.rounds_breakdown["concurrent_bfs"]
+        assert result.bfs_metrics.messages_delivered > 0
+
+    def test_same_distribution_as_centralized(self, small_lb):
+        """The distributed construction samples from the same law as the
+        centralized one; with equal seeds and parameters the number of
+        shortcut edges should be comparable (they use different RNG streams,
+        so only compare coarse statistics)."""
+        inst, partition = small_lb
+        from repro.shortcuts import build_kogan_parter_shortcut
+
+        central = build_kogan_parter_shortcut(
+            inst.graph, partition, diameter_value=6, log_factor=0.3, rng=7
+        )
+        distributed = build_distributed_kogan_parter(
+            inst.graph, partition, diameter_value=6, log_factor=0.3, rng=8
+        )
+        c_edges = central.shortcut.total_shortcut_edges()
+        d_edges = distributed.shortcut.total_shortcut_edges()
+        assert 0.5 <= (d_edges + 1) / (c_edges + 1) <= 2.0
+
+    def test_disconnected_graph_rejected(self):
+        from repro.graphs import Graph
+
+        g = Graph(6, [(0, 1), (2, 3)])
+        partition = Partition(g, [{0, 1}])
+        with pytest.raises(ValueError):
+            build_distributed_kogan_parter(g, partition, rng=1)
+
+    def test_hub_graph_with_path_parts(self):
+        g = hub_diameter_graph(90, 6, extra_edge_prob=0.05, rng=9)
+        parts = path_partition(g, 4, 12, rng=2)
+        partition = Partition(g, parts)
+        result = build_distributed_kogan_parter(
+            g, partition, diameter_value=6, log_factor=0.3, rng=10
+        )
+        assert result.spanning_ok
+        assert verify_shortcut(result.shortcut).valid

@@ -1,0 +1,183 @@
+"""Unit tests for the graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    binary_tree_graph,
+    cluster_star_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    diameter,
+    erdos_renyi_graph,
+    grid_graph,
+    hub_diameter_graph,
+    is_connected,
+    layered_diameter_graph,
+    path_graph,
+    planted_cut_graph,
+    random_connected_graph,
+    star_graph,
+    with_random_weights,
+)
+
+
+class TestClassicGraphs:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert diameter(g) == 4
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert diameter(g) == 1
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 6
+        assert diameter(g) == 2
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4
+        assert diameter(g) == 2 + 3
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 4)
+        assert g.num_edges == 12
+        assert diameter(g) == 2
+
+    def test_binary_tree(self):
+        g = binary_tree_graph(3)
+        assert g.num_vertices == 15
+        assert g.num_edges == 14
+        assert diameter(g) == 6
+
+
+class TestRandomGraphs:
+    def test_erdos_renyi_determinism(self):
+        g1 = erdos_renyi_graph(30, 0.2, rng=5)
+        g2 = erdos_renyi_graph(30, 0.2, rng=5)
+        assert g1 == g2
+
+    def test_erdos_renyi_probability_bounds(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5)
+        assert erdos_renyi_graph(10, 0.0).num_edges == 0
+        assert erdos_renyi_graph(10, 1.0).num_edges == 45
+
+    def test_random_connected_graph_is_connected(self):
+        for seed in range(5):
+            g = random_connected_graph(50, 0.02, rng=seed)
+            assert is_connected(g)
+
+
+class TestHubDiameterGraph:
+    @pytest.mark.parametrize("target", [2, 3, 4, 5, 6, 8])
+    def test_exact_diameter(self, target):
+        g = hub_diameter_graph(100, target, rng=1)
+        assert diameter(g) == target
+
+    def test_exact_diameter_with_extra_edges(self):
+        for target in (4, 6):
+            g = hub_diameter_graph(150, target, extra_edge_prob=0.05, rng=2)
+            assert diameter(g) == target
+
+    def test_connected(self):
+        g = hub_diameter_graph(80, 5, rng=3)
+        assert is_connected(g)
+
+    def test_too_few_vertices(self):
+        with pytest.raises(ValueError):
+            hub_diameter_graph(3, 6)
+
+    def test_bad_diameter(self):
+        with pytest.raises(ValueError):
+            hub_diameter_graph(10, 1)
+
+    def test_determinism(self):
+        g1 = hub_diameter_graph(60, 6, rng=7)
+        g2 = hub_diameter_graph(60, 6, rng=7)
+        assert g1 == g2
+
+
+class TestLayeredDiameterGraph:
+    @pytest.mark.parametrize("target", [3, 4, 6])
+    def test_exact_diameter(self, target):
+        g = layered_diameter_graph(120, target, rng=1)
+        assert diameter(g) == target
+
+    def test_connected(self):
+        g = layered_diameter_graph(90, 5, rng=2)
+        assert is_connected(g)
+
+
+class TestClusterStarGraph:
+    def test_structure(self):
+        g = cluster_star_graph(5, 4)
+        assert g.num_vertices == 1 + 20
+        assert diameter(g) == 4
+
+    def test_clusters_are_cliques(self):
+        g = cluster_star_graph(3, 4)
+        for c in range(3):
+            base = 1 + c * 4
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    assert g.has_edge(base + i, base + j)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            cluster_star_graph(1, 4)
+        with pytest.raises(ValueError):
+            cluster_star_graph(3, 0)
+
+
+class TestWeightedGenerators:
+    def test_with_random_weights_unique(self):
+        g = cycle_graph(20)
+        wg = with_random_weights(g, rng=1, unique=True)
+        weights = [w for _, _, w in wg.weighted_edges()]
+        assert len(set(weights)) == len(weights)
+
+    def test_with_random_weights_preserves_structure(self):
+        g = grid_graph(4, 4)
+        wg = with_random_weights(g, rng=2)
+        assert wg.num_edges == g.num_edges
+        assert set(wg.edges()) == set(g.edges())
+
+    def test_weight_range(self):
+        g = cycle_graph(10)
+        wg = with_random_weights(g, low=5.0, high=6.0, rng=3, unique=False)
+        for _, _, w in wg.weighted_edges():
+            assert 5.0 <= w <= 6.0
+
+    def test_planted_cut_graph_structure(self):
+        g = planted_cut_graph(10, 3, rng=1)
+        assert g.num_vertices == 20
+        assert is_connected(g)
+        crossing = [
+            (u, v) for u, v in g.edges() if (u < 10) != (v < 10)
+        ]
+        assert len(crossing) == 3
+        for u, v in crossing:
+            assert g.weight(u, v) == 1.0
+
+    def test_planted_cut_invalid(self):
+        with pytest.raises(ValueError):
+            planted_cut_graph(1, 1)
+        with pytest.raises(ValueError):
+            planted_cut_graph(5, 0)

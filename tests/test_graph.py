@@ -1,0 +1,233 @@
+"""Unit tests for the core graph data structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    Subgraph,
+    WeightedGraph,
+    edge_key,
+    path_graph,
+    union_subgraph,
+)
+
+
+class TestEdgeKey:
+    def test_orders_endpoints(self):
+        assert edge_key(3, 1) == (1, 3)
+        assert edge_key(1, 3) == (1, 3)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            edge_key(2, 2)
+
+
+class TestGraphBasics:
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_add_edge(self):
+        g = Graph(4)
+        assert g.add_edge(0, 1) is True
+        assert g.add_edge(1, 0) is False  # already present (undirected)
+        assert g.num_edges == 1
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_add_edge_out_of_range(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 3)
+        with pytest.raises(ValueError):
+            g.add_edge(-1, 1)
+
+    def test_self_loop_rejected(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_remove_edge(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.remove_edge(1, 0) is True
+        assert g.num_edges == 1
+        assert not g.has_edge(0, 1)
+        assert g.remove_edge(0, 1) is False
+
+    def test_constructor_edges(self):
+        g = Graph(4, [(0, 1), (2, 3), (1, 2)])
+        assert g.num_edges == 3
+        assert g.edge_list() == [(0, 1), (1, 2), (2, 3)]
+
+    def test_neighbors_and_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.neighbors(0) == {1, 2, 3}
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+
+    def test_edges_canonical_order(self):
+        g = Graph(3, [(2, 0), (1, 2)])
+        assert sorted(g.edges()) == [(0, 2), (1, 2)]
+
+    def test_contains_operator(self):
+        g = Graph(3, [(0, 1)])
+        assert (0, 1) in g
+        assert (1, 0) in g
+        assert (1, 2) not in g
+
+    def test_equality(self):
+        g1 = Graph(3, [(0, 1), (1, 2)])
+        g2 = Graph(3, [(1, 2), (0, 1)])
+        g3 = Graph(3, [(0, 1)])
+        assert g1 == g2
+        assert g1 != g3
+
+    def test_copy_is_independent(self):
+        g = Graph(3, [(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert g.num_edges == 1
+        assert h.num_edges == 2
+
+    def test_repr(self):
+        g = Graph(3, [(0, 1)])
+        assert "n=3" in repr(g)
+        assert "m=1" in repr(g)
+
+    def test_has_vertex(self):
+        g = Graph(3)
+        assert g.has_vertex(0) and g.has_vertex(2)
+        assert not g.has_vertex(3)
+        assert not g.has_vertex(-1)
+
+
+class TestInducedSubgraph:
+    def test_induced_subgraph_edges(self):
+        g = path_graph(5)
+        sub = g.induced_subgraph({1, 2, 3})
+        assert sub.edge_list() == [(1, 2), (2, 3)]
+        assert sub.vertex_set == {1, 2, 3}
+
+    def test_induced_subgraph_isolated_vertex(self):
+        g = path_graph(5)
+        sub = g.induced_subgraph({0, 2, 4})
+        assert sub.num_edges == 0
+        assert sub.vertex_set == {0, 2, 4}
+
+    def test_induced_subgraph_shares_id_space(self):
+        g = path_graph(5)
+        sub = g.induced_subgraph({3, 4})
+        assert sub.num_vertices == 5  # same id space
+        assert sub.has_vertex_present(3)
+        assert not sub.has_vertex_present(0)
+
+    def test_induced_invalid_vertex(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            g.induced_subgraph({0, 5})
+
+    def test_edge_subgraph(self):
+        g = path_graph(5)
+        sub = g.edge_subgraph([(1, 2), (3, 4)])
+        assert sub.edge_list() == [(1, 2), (3, 4)]
+        assert sub.vertex_set == {1, 2, 3, 4}
+
+    def test_edge_subgraph_missing_edge(self):
+        g = path_graph(5)
+        with pytest.raises(ValueError):
+            g.edge_subgraph([(0, 4)])
+
+
+class TestUnionSubgraph:
+    def test_union_of_edge_sets(self):
+        sub = union_subgraph(6, [(0, 1), (1, 2)], [(1, 2), (3, 4)])
+        assert sub.edge_list() == [(0, 1), (1, 2), (3, 4)]
+        assert sub.vertex_set == {0, 1, 2, 3, 4}
+
+    def test_union_empty(self):
+        sub = union_subgraph(4)
+        assert sub.num_edges == 0
+        assert sub.vertex_set == set()
+
+    def test_union_canonicalizes(self):
+        sub = union_subgraph(4, [(1, 0)], [(0, 1)])
+        assert sub.num_edges == 1
+
+
+class TestWeightedGraph:
+    def test_add_weighted_edge(self):
+        g = WeightedGraph(3)
+        g.add_weighted_edge(0, 1, 2.5)
+        assert g.weight(0, 1) == 2.5
+        assert g.weight(1, 0) == 2.5
+
+    def test_non_positive_weight_rejected(self):
+        g = WeightedGraph(3)
+        with pytest.raises(ValueError):
+            g.add_weighted_edge(0, 1, 0.0)
+        with pytest.raises(ValueError):
+            g.add_weighted_edge(0, 1, -1.0)
+
+    def test_weight_overwrite(self):
+        g = WeightedGraph(3)
+        g.add_weighted_edge(0, 1, 2.0)
+        g.add_weighted_edge(0, 1, 5.0)
+        assert g.weight(0, 1) == 5.0
+        assert g.num_edges == 1
+
+    def test_default_weight_via_add_edge(self):
+        g = WeightedGraph(3)
+        g.add_edge(0, 1)
+        assert g.weight(0, 1) == 1.0
+
+    def test_missing_weight_raises(self):
+        g = WeightedGraph(3)
+        with pytest.raises(KeyError):
+            g.weight(0, 1)
+
+    def test_remove_edge_clears_weight(self):
+        g = WeightedGraph(3)
+        g.add_weighted_edge(0, 1, 3.0)
+        g.remove_edge(0, 1)
+        with pytest.raises(KeyError):
+            g.weight(0, 1)
+
+    def test_total_weight(self):
+        g = WeightedGraph(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+        assert g.total_weight() == pytest.approx(6.0)
+        assert g.total_weight([(0, 1), (2, 3)]) == pytest.approx(4.0)
+
+    def test_weighted_edges_iteration(self):
+        g = WeightedGraph(3, [(0, 1, 1.5), (1, 2, 2.5)])
+        triples = sorted(g.weighted_edges())
+        assert triples == [(0, 1, 1.5), (1, 2, 2.5)]
+
+    def test_copy_preserves_weights(self):
+        g = WeightedGraph(3, [(0, 1, 4.0)])
+        h = g.copy()
+        assert h.weight(0, 1) == 4.0
+        h.add_weighted_edge(1, 2, 2.0)
+        assert g.num_edges == 1
+
+    def test_weighted_graph_usable_as_graph(self):
+        g = WeightedGraph(3, [(0, 1, 2.0)])
+        assert isinstance(g, Graph)
+        assert g.neighbors(0) == {1}
+
+
+class TestSubgraphClass:
+    def test_subgraph_construction(self):
+        sub = Subgraph(5, {0, 1}, [(0, 1), (1, 2)])
+        assert sub.vertex_set == {0, 1, 2}
+        assert sub.num_edges == 2
+
+    def test_subgraph_repr(self):
+        sub = Subgraph(5, {0}, [])
+        assert "Subgraph" in repr(sub)

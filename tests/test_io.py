@@ -1,0 +1,153 @@
+"""Unit tests for graph / partition / shortcut serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.graphs import Graph, WeightedGraph, cycle_graph, with_random_weights
+from repro.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_json,
+    partition_from_dict,
+    partition_to_dict,
+    read_edge_list,
+    save_json,
+    shortcut_from_dict,
+    shortcut_to_dict,
+    write_edge_list,
+)
+from repro.shortcuts import Partition, Shortcut, build_kogan_parter_shortcut
+
+
+class TestGraphRoundTrip:
+    def test_unweighted_round_trip(self):
+        g = cycle_graph(8)
+        g2 = graph_from_dict(graph_to_dict(g))
+        assert g2 == g
+        assert not isinstance(g2, WeightedGraph)
+
+    def test_weighted_round_trip(self):
+        wg = with_random_weights(cycle_graph(8), rng=1)
+        wg2 = graph_from_dict(graph_to_dict(wg))
+        assert isinstance(wg2, WeightedGraph)
+        assert set(wg2.edges()) == set(wg.edges())
+        for u, v, w in wg.weighted_edges():
+            assert wg2.weight(u, v) == pytest.approx(w)
+
+    def test_bad_version_rejected(self):
+        data = graph_to_dict(cycle_graph(4))
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="format_version"):
+            graph_from_dict(data)
+
+    def test_bad_kind_rejected(self):
+        data = graph_to_dict(cycle_graph(4))
+        data["kind"] = "hypergraph"
+        with pytest.raises(ValueError, match="kind"):
+            graph_from_dict(data)
+
+    def test_malformed_edge_rejected(self):
+        data = graph_to_dict(cycle_graph(4))
+        data["edges"].append([1])
+        with pytest.raises(ValueError):
+            graph_from_dict(data)
+
+
+class TestPartitionAndShortcutRoundTrip:
+    def make_shortcut(self):
+        g = cycle_graph(12)
+        partition = Partition(g, [{0, 1, 2, 3}, {6, 7, 8}])
+        return Shortcut(partition, [[(4, 5)], [(9, 10)]])
+
+    def test_partition_round_trip(self):
+        sc = self.make_shortcut()
+        p2 = partition_from_dict(partition_to_dict(sc.partition))
+        assert p2.parts == sc.partition.parts
+        assert p2.graph == sc.partition.graph
+
+    def test_shortcut_round_trip(self):
+        sc = self.make_shortcut()
+        sc2 = shortcut_from_dict(shortcut_to_dict(sc))
+        for i in range(sc.num_parts):
+            assert sc2.subgraph_edges(i) == sc.subgraph_edges(i)
+        assert sc2.quality_report() == sc.quality_report()
+
+    def test_invalid_partition_rejected_on_load(self):
+        sc = self.make_shortcut()
+        data = partition_to_dict(sc.partition)
+        data["parts"][0].append(7)  # overlaps part 1
+        with pytest.raises(ValueError):
+            partition_from_dict(data)
+
+    def test_invalid_shortcut_edge_rejected_on_load(self):
+        sc = self.make_shortcut()
+        data = shortcut_to_dict(sc)
+        data["subgraphs"][0].append([0, 6])  # not an edge of the cycle
+        with pytest.raises(ValueError):
+            shortcut_from_dict(data)
+
+    def test_kp_shortcut_round_trip(self, lb_instance):
+        partition = Partition(lb_instance.graph, lb_instance.parts)
+        sc = build_kogan_parter_shortcut(
+            lb_instance.graph, partition, diameter_value=6, log_factor=0.3, rng=1
+        ).shortcut
+        sc2 = shortcut_from_dict(shortcut_to_dict(sc))
+        assert sc2.congestion() == sc.congestion()
+        assert sc2.total_shortcut_edges() == sc.total_shortcut_edges()
+
+
+class TestFileHelpers:
+    def test_save_and_load_json(self, tmp_path):
+        g = cycle_graph(6)
+        path = tmp_path / "graph.json"
+        save_json(g, path)
+        loaded = load_json(path)
+        assert loaded == g
+        # the file is actual JSON
+        assert json.loads(path.read_text())["kind"] == "graph"
+
+    def test_save_and_load_shortcut(self, tmp_path):
+        g = cycle_graph(10)
+        partition = Partition(g, [{0, 1, 2}])
+        sc = Shortcut(partition, [[(3, 4)]])
+        path = tmp_path / "shortcut.json"
+        save_json(sc, path)
+        loaded = load_json(path)
+        assert isinstance(loaded, Shortcut)
+        assert loaded.subgraph_edges(0) == {(3, 4)}
+
+    def test_save_unknown_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_json(42, tmp_path / "x.json")
+
+    def test_load_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 1, "kind": "mystery"}))
+        with pytest.raises(ValueError):
+            load_json(path)
+
+    def test_edge_list_round_trip_unweighted(self, tmp_path):
+        g = cycle_graph(7)
+        path = tmp_path / "edges.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path)
+        assert g2 == g
+
+    def test_edge_list_round_trip_weighted(self, tmp_path):
+        wg = with_random_weights(cycle_graph(7), rng=2)
+        path = tmp_path / "edges.txt"
+        write_edge_list(wg, path)
+        wg2 = read_edge_list(path)
+        assert isinstance(wg2, WeightedGraph)
+        for u, v, w in wg.weighted_edges():
+            assert wg2.weight(u, v) == pytest.approx(w)
+
+    def test_edge_list_without_header(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2

@@ -1,0 +1,102 @@
+"""Unit tests for the Elkin / Das-Sarma style lower-bound instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    build_lower_bound_graph,
+    connector_tree_depth,
+    diameter,
+    is_connected,
+    lower_bound_instance,
+    validate_parts,
+)
+from repro.params import k_d_value
+
+
+class TestConnectorTreeDepth:
+    def test_even_diameters(self):
+        assert connector_tree_depth(4) == 1
+        assert connector_tree_depth(6) == 2
+        assert connector_tree_depth(8) == 3
+
+    def test_odd_or_small_rejected(self):
+        with pytest.raises(ValueError):
+            connector_tree_depth(5)
+        with pytest.raises(ValueError):
+            connector_tree_depth(2)
+
+
+class TestBuildLowerBoundGraph:
+    @pytest.mark.parametrize("diameter_value", [4, 6, 8])
+    def test_exact_diameter(self, diameter_value):
+        inst = build_lower_bound_graph(num_paths=6, path_length=12, diameter=diameter_value)
+        assert diameter(inst.graph) == diameter_value
+
+    def test_connected(self):
+        inst = build_lower_bound_graph(5, 10, 6)
+        assert is_connected(inst.graph)
+
+    def test_parts_are_paths(self):
+        inst = build_lower_bound_graph(4, 8, 6)
+        validate_parts(inst.graph, [set(p) for p in inst.parts])
+        for part in inst.parts:
+            assert len(part) == 8
+            # A path's induced subgraph has |part| - 1 edges.
+            induced_edges = sum(
+                1
+                for u in part
+                for v in inst.graph.neighbors(u)
+                if u < v and v in part
+            )
+            assert induced_edges == len(part) - 1
+
+    def test_parts_disjoint_from_tree(self):
+        inst = build_lower_bound_graph(4, 8, 6)
+        path_vertices = set().union(*inst.parts)
+        assert not path_vertices & inst.tree_vertices
+
+    def test_column_attachment(self):
+        inst = build_lower_bound_graph(3, 5, 4)
+        # With depth 1 the leaves are the only non-root tree vertices; each
+        # column leaf attaches to one vertex of every path.
+        leaves = sorted(inst.tree_vertices)[1:]
+        assert len(leaves) == 5
+        for leaf in leaves:
+            path_neighbors = [v for v in inst.graph.neighbors(leaf) if v not in inst.tree_vertices]
+            assert len(path_neighbors) == 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            build_lower_bound_graph(0, 5, 6)
+        with pytest.raises(ValueError):
+            build_lower_bound_graph(3, 1, 6)
+        with pytest.raises(ValueError):
+            build_lower_bound_graph(3, 5, 5)
+
+
+class TestLowerBoundInstance:
+    def test_parameter_balance(self):
+        inst = lower_bound_instance(400, 6)
+        k_d = k_d_value(400, 6)
+        assert abs(inst.num_paths - k_d) <= k_d  # within a factor ~2
+        assert inst.num_paths * inst.path_length <= inst.graph.num_vertices
+
+    def test_odd_diameter_rounded_up(self):
+        inst = lower_bound_instance(200, 5)
+        assert inst.diameter == 6
+        assert diameter(inst.graph) == 6
+
+    def test_small_diameter_rejected(self):
+        with pytest.raises(ValueError):
+            lower_bound_instance(100, 2)
+
+    def test_vertex_count_close_to_request(self):
+        inst = lower_bound_instance(300, 6)
+        assert 300 <= inst.graph.num_vertices <= 450
+
+    @pytest.mark.parametrize("n,diameter_value", [(150, 4), (200, 6), (250, 8)])
+    def test_diameter_matches(self, n, diameter_value):
+        inst = lower_bound_instance(n, diameter_value)
+        assert diameter(inst.graph) == inst.diameter == diameter_value

@@ -1,0 +1,241 @@
+"""Property-based tests (hypothesis) for core data structures and invariants.
+
+These tests generate random graphs, partitions and constructions and check
+the structural invariants that the rest of the library depends on:
+
+* graph operations are consistent (degrees, edge counts, induced subgraphs);
+* BFS distances satisfy the triangle-like layering property;
+* union-find partitions the ground set;
+* every shortcut construction yields only real graph edges, congestion
+  consistent with the per-edge load map, and dilation no worse than the
+  un-shortcut baseline;
+* Boruvka MST weight equals Kruskal MST weight on arbitrary weighted graphs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.applications import boruvka_mst, kruskal_mst
+from repro.graphs import (
+    Graph,
+    UnionFind,
+    WeightedGraph,
+    bfs_distances,
+    connected_components,
+    is_connected,
+    spanning_forest,
+)
+from repro.shortcuts import (
+    Partition,
+    Shortcut,
+    build_empty_shortcut,
+    build_kogan_parter_shortcut,
+)
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def random_graphs(draw, min_vertices=2, max_vertices=24, connected=False):
+    """Generate a random simple graph (optionally forced connected)."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    seed = draw(st.integers(0, 10_000))
+    rng = random.Random(seed)
+    g = Graph(n)
+    if connected:
+        order = list(range(n))
+        rng.shuffle(order)
+        for i in range(1, n):
+            g.add_edge(order[i], order[rng.randrange(i)])
+    density = draw(st.floats(0.0, 0.3))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < density:
+                g.add_edge(u, v)
+    return g
+
+
+@st.composite
+def weighted_graphs(draw, connected=True):
+    g = draw(random_graphs(connected=connected))
+    seed = draw(st.integers(0, 10_000))
+    rng = random.Random(seed)
+    wg = WeightedGraph(g.num_vertices)
+    for idx, (u, v) in enumerate(g.edges()):
+        wg.add_weighted_edge(u, v, round(rng.uniform(1, 50), 3) + idx * 1e-6)
+    return wg
+
+
+@st.composite
+def graphs_with_partitions(draw):
+    """A connected graph plus a random collection of disjoint connected parts."""
+    g = draw(random_graphs(min_vertices=4, max_vertices=20, connected=True))
+    seed = draw(st.integers(0, 10_000))
+    rng = random.Random(seed)
+    num_parts = draw(st.integers(1, 4))
+    used: set[int] = set()
+    parts = []
+    for _ in range(num_parts):
+        available = [v for v in g.vertices() if v not in used]
+        if not available:
+            break
+        start = rng.choice(available)
+        size = rng.randint(1, max(1, len(available) // 2))
+        region = {start}
+        frontier = [start]
+        while frontier and len(region) < size:
+            u = frontier.pop()
+            for v in g.neighbors(u):
+                if v not in used and v not in region:
+                    region.add(v)
+                    frontier.append(v)
+        parts.append(region)
+        used |= region
+    return g, Partition(g, parts)
+
+
+# ----------------------------------------------------------------------
+# graph invariants
+# ----------------------------------------------------------------------
+class TestGraphProperties:
+    @given(random_graphs())
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    def test_handshake_lemma(self, g):
+        assert sum(g.degree(v) for v in g.vertices()) == 2 * g.num_edges
+
+    @given(random_graphs())
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    def test_edge_iteration_matches_membership(self, g):
+        edges = list(g.edges())
+        assert len(edges) == g.num_edges
+        for u, v in edges:
+            assert u < v
+            assert g.has_edge(u, v)
+
+    @given(random_graphs(min_vertices=3))
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    def test_induced_subgraph_edges_subset(self, g):
+        verts = set(range(0, g.num_vertices, 2))
+        sub = g.induced_subgraph(verts)
+        for u, v in sub.edges():
+            assert g.has_edge(u, v)
+            assert u in verts and v in verts
+
+    @given(random_graphs(connected=True))
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    def test_bfs_layering_property(self, g):
+        dist = bfs_distances(g, 0)
+        for u, v in g.edges():
+            if u in dist and v in dist:
+                assert abs(dist[u] - dist[v]) <= 1
+
+    @given(random_graphs())
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    def test_components_partition_vertices(self, g):
+        comps = connected_components(g)
+        union = set()
+        total = 0
+        for c in comps:
+            assert not (c & union)
+            union |= c
+            total += len(c)
+        assert union == set(g.vertices())
+        assert total == g.num_vertices
+
+    @given(random_graphs())
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    def test_spanning_forest_size(self, g):
+        forest = spanning_forest(g)
+        comps = connected_components(g)
+        assert len(forest) == g.num_vertices - len(comps)
+
+
+class TestUnionFindProperties:
+    @given(st.integers(1, 50), st.lists(st.tuples(st.integers(0, 49), st.integers(0, 49)), max_size=80))
+    @settings(max_examples=40)
+    def test_sets_partition_ground_set(self, n, unions):
+        uf = UnionFind(n)
+        for a, b in unions:
+            if a < n and b < n:
+                uf.union(a, b)
+        groups = uf.groups()
+        union = set()
+        for grp in groups:
+            assert not (grp & union)
+            union |= grp
+        assert union == set(range(n))
+        assert len(groups) == uf.num_sets
+
+
+# ----------------------------------------------------------------------
+# shortcut invariants
+# ----------------------------------------------------------------------
+class TestShortcutProperties:
+    @given(graphs_with_partitions(), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_kogan_parter_structural_invariants(self, gp, seed):
+        g, partition = gp
+        result = build_kogan_parter_shortcut(
+            g, partition, log_factor=0.4, rng=seed
+        )
+        sc = result.shortcut
+        # every shortcut edge is a graph edge
+        for i in range(sc.num_parts):
+            for u, v in sc.subgraph_edges(i):
+                assert g.has_edge(u, v)
+        # congestion equals the max of the per-edge load map
+        loads = sc.edge_loads()
+        assert sc.congestion() == (max(loads.values()) if loads else 0)
+        # every part is connected in its augmented subgraph (parts are
+        # connected and step 1 adds all incident edges)
+        assert sc.dilation() < float("inf")
+
+    @given(graphs_with_partitions(), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_shortcut_never_hurts_dilation(self, gp, seed):
+        g, partition = gp
+        empty = build_empty_shortcut(g, partition)
+        kp = build_kogan_parter_shortcut(g, partition, log_factor=0.4, rng=seed)
+        assert kp.shortcut.dilation() <= empty.dilation()
+
+    @given(graphs_with_partitions())
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_congestion_at_least_one_when_parts_have_edges(self, gp):
+        g, partition = gp
+        sc = build_empty_shortcut(g, partition)
+        has_internal_edge = any(partition.part_edges(i) for i in range(partition.num_parts))
+        if has_internal_edge:
+            assert sc.congestion() >= 1
+        else:
+            assert sc.congestion() == 0
+
+
+# ----------------------------------------------------------------------
+# MST invariants
+# ----------------------------------------------------------------------
+class TestMSTProperties:
+    @given(weighted_graphs(connected=True))
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_boruvka_matches_kruskal(self, wg):
+        boruvka = boruvka_mst(wg)
+        _, kruskal_weight = kruskal_mst(wg)
+        assert math.isclose(boruvka.weight, kruskal_weight, rel_tol=1e-9)
+        if is_connected(wg):
+            assert len(boruvka.edges) == wg.num_vertices - 1
+
+    @given(weighted_graphs(connected=True))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_mst_is_spanning_and_acyclic(self, wg):
+        result = boruvka_mst(wg)
+        tree = Graph(wg.num_vertices, result.edges)
+        comps_graph = connected_components(wg)
+        comps_tree = connected_components(tree)
+        assert comps_graph == comps_tree
+        assert len(result.edges) == wg.num_vertices - len(comps_graph)

@@ -1,0 +1,188 @@
+"""Unit tests for the shortcut-tree analysis machinery (Section 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import grid_graph, lower_bound_instance, path_graph, shortest_path
+from repro.shortcuts import ROOT, ShortcutTree, build_kogan_parter_shortcut, Partition
+
+
+@pytest.fixture
+def simple_tree():
+    """A shortcut tree over a small grid: path along the bottom row, Q = top row."""
+    g = grid_graph(4, 6)  # vertices: row * 6 + col
+    path = [18, 19, 20, 21, 22, 23]  # bottom row (row 3)
+    q = {0, 1, 2, 3, 4, 5}  # top row (row 0)
+    return g, path, q, ShortcutTree(g, path, q, ell=3)
+
+
+class TestConstructionValidation:
+    def test_requires_real_path(self):
+        g = path_graph(6)
+        with pytest.raises(ValueError):
+            ShortcutTree(g, [0, 2], {5}, ell=2)  # 0 and 2 not adjacent
+
+    def test_requires_nonempty_q(self):
+        g = path_graph(6)
+        with pytest.raises(ValueError):
+            ShortcutTree(g, [0, 1], set(), ell=2)
+
+    def test_requires_two_path_vertices(self):
+        g = path_graph(6)
+        with pytest.raises(ValueError):
+            ShortcutTree(g, [0], {5}, ell=2)
+
+    def test_requires_positive_ell(self):
+        g = path_graph(6)
+        with pytest.raises(ValueError):
+            ShortcutTree(g, [0, 1], {5}, ell=0)
+
+
+class TestAuxiliaryGraphStructure:
+    def test_layer_nodes(self, simple_tree):
+        g, path, q, tree = simple_tree
+        assert tree.layer_nodes(1) == [(1, v) for v in path]
+        assert len(tree.layer_nodes(2)) == g.num_vertices
+        assert {v for _, v in tree.layer_nodes(4)} == q
+        assert tree.layer_nodes(5) == [ROOT]
+
+    def test_invalid_layer(self, simple_tree):
+        _, _, _, tree = simple_tree
+        with pytest.raises(ValueError):
+            tree.layer_nodes(0)
+        with pytest.raises(ValueError):
+            tree.layer_nodes(9)
+
+    def test_path_leaves_reach_root_when_ell_sufficient(self, simple_tree):
+        # dist(bottom row, top row) = 3 <= ell = 3
+        _, _, _, tree = simple_tree
+        assert tree.path_leaves_reach_root()
+
+    def test_path_leaves_do_not_reach_root_when_ell_too_small(self):
+        g = grid_graph(5, 5)
+        path = [20, 21, 22, 23, 24]  # bottom row, distance 4 from top row
+        q = {0, 1, 2, 3, 4}
+        tree = ShortcutTree(g, path, q, ell=2)
+        assert not tree.path_leaves_reach_root()
+
+    def test_bfs_tree_depth(self, simple_tree):
+        _, _, _, tree = simple_tree
+        # Every tree node's path to the root has length <= ell + 1 layers.
+        parent = tree.tree_parent
+        for node in parent:
+            depth = 0
+            cur = node
+            while cur != ROOT:
+                cur = parent[cur]
+                depth += 1
+                assert depth <= tree.ell + 2
+        assert ROOT in parent
+
+    def test_tree_edges_cross_adjacent_layers(self, simple_tree):
+        _, _, _, tree = simple_tree
+        for child, parent in tree.tree_edges():
+            child_layer = child[0] if child != ROOT else tree.ell + 2
+            parent_layer = parent[0] if parent != ROOT else tree.ell + 2
+            assert abs(child_layer - parent_layer) == 1
+
+
+class TestSampling:
+    def test_requires_exactly_one_sampling_mode(self, simple_tree):
+        _, _, _, tree = simple_tree
+        with pytest.raises(ValueError):
+            tree.sampled_adjacency()
+        with pytest.raises(ValueError):
+            tree.sampled_adjacency(probability=0.5, repetition_edges=[set()])
+
+    def test_probability_one_keeps_all_tree_edges(self, simple_tree):
+        _, _, _, tree = simple_tree
+        adj = tree.sampled_adjacency(probability=1.0, rng=1)
+        sampled_edges = sum(len(v) for v in adj.values()) // 2
+        # all tree edges plus the path edges
+        assert sampled_edges == len(tree.tree_edges()) + len(tree.path) - 1
+
+    def test_probability_zero_keeps_mandatory_edges_only(self, simple_tree):
+        _, _, _, tree = simple_tree
+        adj = tree.sampled_adjacency(probability=0.0, rng=1)
+        # Edges of layer1-layer2, root edges and self-copies survive; all
+        # sampled non-self edges above layer 2 disappear.
+        for a in adj:
+            for b in adj[a]:
+                la = a[0] if a != ROOT else tree.ell + 2
+                lb = b[0] if b != ROOT else tree.ell + 2
+                low, high = min(la, lb), max(la, lb)
+                if low == 1 or high == tree.ell + 2:
+                    continue
+                if low == high:  # path edge inside layer 1 handled above
+                    continue
+                # remaining inter-layer edges must be self-copies
+                assert a != ROOT and b != ROOT and a[1] == b[1]
+
+    def test_path_edges_always_present(self, simple_tree):
+        _, path, _, tree = simple_tree
+        adj = tree.sampled_adjacency(probability=0.0, rng=3)
+        for a, b in zip(path, path[1:]):
+            assert (1, b) in adj[(1, a)]
+
+    def test_repetition_coupled_sampling(self, simple_tree):
+        g, path, q, tree = simple_tree
+        # With empty repetition sets, only mandatory edges survive.
+        reps = [set() for _ in range(4)]
+        adj_empty = tree.sampled_adjacency(repetition_edges=reps)
+        # With all directed edges in every repetition, everything survives.
+        all_directed = set()
+        for u, v in g.edges():
+            all_directed.add((u, v))
+            all_directed.add((v, u))
+        reps_full = [set(all_directed) for _ in range(4)]
+        adj_full = tree.sampled_adjacency(repetition_edges=reps_full)
+        count_empty = sum(len(v) for v in adj_empty.values())
+        count_full = sum(len(v) for v in adj_full.values())
+        assert count_full >= count_empty
+        assert count_full == 2 * (len(tree.tree_edges()) + len(path) - 1)
+
+
+class TestAnalysis:
+    def test_full_sampling_reaches_everything(self, simple_tree):
+        _, _, _, tree = simple_tree
+        analysis = tree.analyze(probability=1.0, rng=1)
+        assert analysis.distance_to_end < float("inf")
+        for k, dist in analysis.distance_to_layer.items():
+            assert dist < float("inf")
+
+    def test_zero_sampling_still_reaches_layer_two(self, simple_tree):
+        _, _, _, tree = simple_tree
+        analysis = tree.analyze(probability=0.0, rng=1)
+        assert analysis.distance_to_layer[2] == 1.0  # E(L1, L2) kept always
+
+    def test_end_reachable_via_path_edges(self, simple_tree):
+        _, path, _, tree = simple_tree
+        analysis = tree.analyze(probability=0.0, rng=1)
+        assert analysis.distance_to_end <= len(path) - 1
+
+    def test_lemma_bounds_monotone_in_k(self, simple_tree):
+        _, _, _, tree = simple_tree
+        analysis = tree.analyze(probability=0.5, rng=2)
+        bounds = [analysis.lemma_bound[k] for k in sorted(analysis.lemma_bound)]
+        assert bounds == sorted(bounds)
+
+    def test_coupled_analysis_with_construction_repetitions(self):
+        """The tree sampling can consume the exact repetition sets recorded by
+        the shortcut construction (the coupling the paper's proof uses)."""
+        inst = lower_bound_instance(150, 6)
+        partition = Partition(inst.graph, inst.parts)
+        result = build_kogan_parter_shortcut(
+            inst.graph, partition, diameter_value=6, log_factor=0.3, rng=4,
+            track_repetitions=True,
+        )
+        part_idx = result.large_part_indices[0]
+        part = sorted(partition.part(part_idx))
+        path = shortest_path(inst.graph, part[0], part[min(8, len(part) - 1)])
+        q = set(list(inst.tree_vertices)[:5])
+        tree = ShortcutTree(inst.graph, path, q, ell=3)
+        analysis = tree.analyze(
+            repetition_edges=result.repetition_edges[part_idx], diameter_value=6
+        )
+        assert analysis.distance_to_end <= len(path) - 1 or analysis.distance_to_end == float("inf")
+        assert analysis.distance_to_layer[2] == 1.0

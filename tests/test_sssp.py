@@ -1,0 +1,129 @@
+"""Unit tests for the SSSP application."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.applications import (
+    UNREACHABLE,
+    bellman_ford,
+    dijkstra,
+    shortcut_accelerated_sssp,
+)
+from repro.graphs import (
+    WeightedGraph,
+    erdos_renyi_graph,
+    grid_graph,
+    grid_strip_partition,
+    hub_diameter_graph,
+    path_partition,
+    with_random_weights,
+)
+from repro.shortcuts import Partition, build_empty_shortcut, build_kogan_parter_shortcut
+
+
+def to_networkx(wg: WeightedGraph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(wg.vertices())
+    for u, v, w in wg.weighted_edges():
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+class TestDijkstra:
+    def test_simple_path(self):
+        wg = WeightedGraph(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (0, 3, 10.0)])
+        dist = dijkstra(wg, 0)
+        assert dist[3] == 6.0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_against_networkx(self, seed):
+        g = erdos_renyi_graph(40, 0.15, rng=seed)
+        wg = with_random_weights(g, rng=seed)
+        ours = dijkstra(wg, 0)
+        theirs = nx.single_source_dijkstra_path_length(to_networkx(wg), 0)
+        assert set(ours) == set(theirs)
+        for v in ours:
+            assert ours[v] == pytest.approx(theirs[v])
+
+    def test_unreachable_vertices_absent(self):
+        wg = WeightedGraph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        dist = dijkstra(wg, 0)
+        assert 2 not in dist and 3 not in dist
+
+
+class TestBellmanFord:
+    def test_hop_limited(self):
+        wg = WeightedGraph(5, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+        dist = bellman_ford(wg, 0, max_hops=2)
+        assert dist[2] == 2.0
+        assert dist[3] == UNREACHABLE
+
+    def test_converges_to_exact_with_enough_hops(self):
+        g = grid_graph(5, 5)
+        wg = with_random_weights(g, rng=1)
+        exact = dijkstra(wg, 0)
+        bf = bellman_ford(wg, 0, max_hops=30)
+        for v, d in exact.items():
+            assert bf[v] == pytest.approx(d)
+
+
+class TestShortcutAcceleratedSSSP:
+    def make_setup(self, seed=1):
+        g = hub_diameter_graph(120, 6, extra_edge_prob=0.04, rng=seed)
+        wg = with_random_weights(g, rng=seed + 1)
+        parts = path_partition(g, 8, 10, rng=seed)
+        partition = Partition(g, parts)
+        shortcut = build_kogan_parter_shortcut(
+            wg, partition, diameter_value=6, log_factor=0.3, rng=seed
+        ).shortcut
+        return wg, shortcut
+
+    def test_converges_to_exact_distances(self):
+        wg, shortcut = self.make_setup()
+        result = shortcut_accelerated_sssp(wg, 0, shortcut, max_phases=40)
+        assert result.converged
+        exact = dijkstra(wg, 0)
+        for v, d in exact.items():
+            assert result.distances[v] == pytest.approx(d)
+        assert result.max_stretch == pytest.approx(1.0)
+
+    def test_distances_never_below_exact(self):
+        wg, shortcut = self.make_setup(seed=3)
+        result = shortcut_accelerated_sssp(wg, 0, shortcut, max_phases=3)
+        exact = dijkstra(wg, 0)
+        for v, d in exact.items():
+            assert result.distances[v] >= d - 1e-9
+
+    def test_part_relaxation_beats_plain_bellman_ford(self):
+        """With the same number of phases the part-accelerated variant is at
+        least as accurate as plain hop-limited Bellman-Ford."""
+        wg, shortcut = self.make_setup(seed=5)
+        phases = 3
+        accel = shortcut_accelerated_sssp(wg, 0, shortcut, max_phases=phases)
+        plain = bellman_ford(wg, 0, max_hops=phases)
+        exact = dijkstra(wg, 0)
+        worse = 0
+        for v, d in exact.items():
+            if accel.distances[v] > plain.get(v, UNREACHABLE) + 1e-9:
+                worse += 1
+        assert worse == 0
+
+    def test_round_accounting(self):
+        wg, shortcut = self.make_setup(seed=7)
+        result = shortcut_accelerated_sssp(wg, 0, shortcut, max_phases=5)
+        assert result.total_rounds > 0
+        assert result.phases <= 5
+
+    def test_stretch_infinite_when_not_converged(self):
+        # A long weighted path with an empty-partition shortcut and one phase
+        # cannot reach the far end.
+        wg = WeightedGraph(30)
+        for i in range(29):
+            wg.add_weighted_edge(i, i + 1, 1.0)
+        partition = Partition(wg, [{0, 1}])
+        shortcut = build_empty_shortcut(wg, partition)
+        result = shortcut_accelerated_sssp(wg, 0, shortcut, max_phases=1)
+        assert not result.converged
+        assert result.max_stretch == UNREACHABLE

@@ -1,0 +1,203 @@
+"""Unit tests for BFS traversal, distances, diameter and connectivity."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    Graph,
+    INFINITY,
+    bfs_distances,
+    bfs_tree,
+    cycle_graph,
+    diameter,
+    diameter_lower_bound_double_sweep,
+    distances_to_set,
+    eccentricity,
+    erdos_renyi_graph,
+    grid_graph,
+    is_connected,
+    path_graph,
+    shortest_path,
+    star_graph,
+)
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+class TestBFSDistances:
+    def test_path_distances(self):
+        g = path_graph(5)
+        dist = bfs_distances(g, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_disconnected_unreached(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        dist = bfs_distances(g, 0)
+        assert 2 not in dist and 3 not in dist
+
+    def test_max_depth_truncation(self):
+        g = path_graph(10)
+        dist = bfs_distances(g, 0, max_depth=3)
+        assert max(dist.values()) == 3
+        assert len(dist) == 4
+
+    def test_allowed_restriction(self):
+        g = path_graph(5)
+        dist = bfs_distances(g, 0, allowed={0, 1, 2})
+        assert set(dist) == {0, 1, 2}
+
+    def test_allowed_excluding_source_raises(self):
+        g = path_graph(5)
+        with pytest.raises(ValueError):
+            bfs_distances(g, 0, allowed={1, 2})
+
+    def test_against_networkx(self):
+        g = erdos_renyi_graph(40, 0.1, rng=3)
+        nxg = to_networkx(g)
+        ours = bfs_distances(g, 0)
+        theirs = nx.single_source_shortest_path_length(nxg, 0)
+        assert ours == dict(theirs)
+
+
+class TestBFSTree:
+    def test_parent_pointers_consistent(self):
+        g = grid_graph(4, 4)
+        parent, dist = bfs_tree(g, 0)
+        for v, p in parent.items():
+            if v == 0:
+                assert p == 0
+            else:
+                assert dist[v] == dist[p] + 1
+                assert g.has_edge(v, p)
+
+    def test_tree_spans_component(self):
+        g = cycle_graph(7)
+        parent, dist = bfs_tree(g, 3)
+        assert set(dist) == set(range(7))
+
+
+class TestShortestPath:
+    def test_path_endpoints(self):
+        g = path_graph(6)
+        path = shortest_path(g, 0, 5)
+        assert path == [0, 1, 2, 3, 4, 5]
+
+    def test_no_path(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert shortest_path(g, 0, 3) is None
+
+    def test_path_is_shortest(self):
+        g = erdos_renyi_graph(30, 0.15, rng=5)
+        nxg = to_networkx(g)
+        for target in (5, 10, 20):
+            ours = shortest_path(g, 0, target)
+            if ours is None:
+                assert not nx.has_path(nxg, 0, target)
+            else:
+                assert len(ours) - 1 == nx.shortest_path_length(nxg, 0, target)
+                for a, b in zip(ours, ours[1:]):
+                    assert g.has_edge(a, b)
+
+
+class TestEccentricityAndDiameter:
+    def test_path_diameter(self):
+        assert diameter(path_graph(7)) == 6
+
+    def test_cycle_diameter(self):
+        assert diameter(cycle_graph(8)) == 4
+        assert diameter(cycle_graph(9)) == 4
+
+    def test_star_diameter(self):
+        assert diameter(star_graph(10)) == 2
+
+    def test_single_vertex(self):
+        assert diameter(Graph(1)) == 0
+
+    def test_disconnected_diameter_infinite(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert diameter(g) == INFINITY
+
+    def test_diameter_over_subset(self):
+        g = path_graph(10)
+        # restricted to {0..4} the diameter is 4
+        assert diameter(g, vertices=range(5)) == 4
+
+    def test_diameter_subset_with_allowed(self):
+        g = cycle_graph(10)
+        # Only vertices 0..5 usable: the induced path 0-..-5 has diameter 5.
+        allowed = set(range(6))
+        assert diameter(g, vertices=allowed, allowed=allowed) == 5
+
+    def test_eccentricity_targets(self):
+        g = path_graph(10)
+        assert eccentricity(g, 0, targets={3, 5}) == 5
+
+    def test_eccentricity_unreachable_target(self):
+        g = Graph(4, [(0, 1)])
+        assert eccentricity(g, 0, targets={3}) == INFINITY
+
+    def test_against_networkx_diameter(self):
+        g = erdos_renyi_graph(30, 0.2, rng=9)
+        nxg = to_networkx(g)
+        if nx.is_connected(nxg):
+            assert diameter(g) == nx.diameter(nxg)
+
+    def test_double_sweep_lower_bound(self):
+        for seed in range(5):
+            g = erdos_renyi_graph(40, 0.12, rng=seed)
+            if diameter(g) == INFINITY:
+                continue
+            lower = diameter_lower_bound_double_sweep(g)
+            assert lower <= diameter(g)
+
+    def test_double_sweep_exact_on_path(self):
+        g = path_graph(15)
+        assert diameter_lower_bound_double_sweep(g, start=7) == 14
+
+
+class TestConnectivity:
+    def test_connected_path(self):
+        assert is_connected(path_graph(5))
+
+    def test_disconnected(self):
+        assert not is_connected(Graph(4, [(0, 1), (2, 3)]))
+
+    def test_subset_connectivity_through_subset_only(self):
+        g = path_graph(5)
+        # {0, 2} is not connected when restricted to itself even though the
+        # full graph connects them through vertex 1.
+        assert not is_connected(g, vertices={0, 2})
+        assert is_connected(g, vertices={0, 1, 2})
+
+    def test_empty_set_connected(self):
+        assert is_connected(path_graph(3), vertices=set())
+
+
+class TestDistancesToSet:
+    def test_multi_source(self):
+        g = path_graph(7)
+        dist = distances_to_set(g, {0, 6})
+        assert dist[3] == 3
+        assert dist[1] == 1
+        assert dist[5] == 1
+
+    def test_all_sources_zero(self):
+        g = cycle_graph(5)
+        dist = distances_to_set(g, range(5))
+        assert all(d == 0 for d in dist.values())
+
+    def test_matches_min_of_single_source(self):
+        g = erdos_renyi_graph(25, 0.2, rng=11)
+        sources = {0, 7, 13}
+        multi = distances_to_set(g, sources)
+        singles = [bfs_distances(g, s) for s in sources]
+        for v in g.vertices():
+            expected = min((d.get(v, INFINITY) for d in singles), default=INFINITY)
+            assert multi.get(v, INFINITY) == expected

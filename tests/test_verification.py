@@ -1,0 +1,71 @@
+"""Unit tests for shortcut verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import cycle_graph, path_graph
+from repro.shortcuts import (
+    Partition,
+    Shortcut,
+    is_valid_shortcut,
+    verify_shortcut,
+)
+
+
+def make_simple_shortcut():
+    g = cycle_graph(10)
+    p = Partition(g, [set(range(6))])
+    return Shortcut(p, [[]])
+
+
+class TestVerifyShortcut:
+    def test_valid_shortcut_passes(self):
+        sc = make_simple_shortcut()
+        result = verify_shortcut(sc)
+        assert result.valid
+        assert result.violations == []
+        assert result.dilation == 5
+        assert result.congestion == 1
+
+    def test_congestion_budget_violation(self):
+        g = cycle_graph(10)
+        p = Partition(g, [{0, 1}, {3, 4}, {6, 7}])
+        all_edges = list(g.edges())
+        sc = Shortcut(p, [all_edges, all_edges, all_edges])
+        result = verify_shortcut(sc, max_congestion=2)
+        assert not result.valid
+        assert any("congestion" in v for v in result.violations)
+
+    def test_dilation_budget_violation(self):
+        sc = make_simple_shortcut()
+        result = verify_shortcut(sc, max_dilation=3)
+        assert not result.valid
+        assert any("dilation" in v for v in result.violations)
+
+    def test_disconnected_part_detected(self):
+        g = path_graph(6)
+        p = Partition(g, [{0, 5}], validate=False)
+        sc = Shortcut(p, [[]])
+        result = verify_shortcut(sc)
+        assert not result.valid
+        assert any("disconnected" in v for v in result.violations)
+
+    def test_budgets_satisfied(self):
+        sc = make_simple_shortcut()
+        result = verify_shortcut(sc, max_congestion=5, max_dilation=10)
+        assert result.valid
+
+    def test_approximate_dilation_mode(self):
+        sc = make_simple_shortcut()
+        result = verify_shortcut(sc, exact_dilation=False)
+        assert result.valid
+        assert result.dilation <= 5
+
+
+class TestIsValidShortcut:
+    def test_true_case(self):
+        assert is_valid_shortcut(make_simple_shortcut())
+
+    def test_false_case(self):
+        assert not is_valid_shortcut(make_simple_shortcut(), max_dilation=2)
