@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Standalone benchmark runner: track the perf trajectory PR-over-PR.
+
+Runs the same workloads the ``benchmarks/test_bench_*`` suite times (plus a
+raw CONGEST-engine flood that isolates the simulator hot loop) without any
+pytest machinery, and writes a ``BENCH_<date>.json`` with wall time, rounds
+and message counts per workload.  Committing one such file per perf-relevant
+PR gives a queryable history of the hot-path speed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--out BENCH.json]
+        [--baseline OLD.json] [--repeat N]
+
+With ``--baseline`` the report also contains per-workload speedup factors
+relative to the older file (``old_wall_s / wall_s``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.experiments import (  # noqa: E402
+    run_congestion_experiment,
+    run_distributed_experiment,
+    run_shortcut_tree_experiment,
+)
+from repro.congest.network import Network  # noqa: E402
+from repro.congest.primitives.bfs import DistributedBFS  # noqa: E402
+from repro.graphs.lower_bound import lower_bound_instance  # noqa: E402
+
+
+def _bench_congestion() -> dict:
+    table = run_congestion_experiment(
+        sizes=(200, 400, 800), diameter_value=6, kind="lower_bound",
+        log_factor=0.25, seed=11,
+    )
+    return {"rows": len(table.rows), "max_congestion": max(table.column("congestion"))}
+
+
+def _bench_shortcut_trees() -> dict:
+    table = run_shortcut_tree_experiment(
+        sizes=(200, 400), diameter_value=6, trials=20,
+        probabilities=(0.05, 0.1, 0.2, 0.4, 0.8), seed=37,
+    )
+    return {"rows": len(table.rows)}
+
+
+def _bench_distributed() -> dict:
+    table = run_distributed_experiment(sizes=(60, 120, 240), seed=19)
+    return {"rounds": int(sum(table.column("rounds")))}
+
+
+def _bench_congest_flood() -> dict:
+    """Raw engine benchmark: a full-graph BFS flood on a lower-bound instance."""
+    inst = lower_bound_instance(600, 6)
+    network = Network(inst.graph)
+    metrics = network.run(DistributedBFS({0}))
+    return {"rounds": metrics.rounds, "messages": metrics.messages_delivered}
+
+
+WORKLOADS: dict[str, Callable[[], dict]] = {
+    "congestion_E2": _bench_congestion,
+    "shortcut_trees_E9": _bench_shortcut_trees,
+    "distributed_E5": _bench_distributed,
+    "congest_flood": _bench_congest_flood,
+}
+
+
+def _git_rev() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        )
+        return out.stdout.strip()
+    except Exception:
+        return None
+
+
+def run_benchmarks(repeat: int = 1) -> dict:
+    """Run every workload ``repeat`` times and keep the best wall time."""
+    results: dict[str, dict] = {}
+    for name, fn in WORKLOADS.items():
+        best = float("inf")
+        extra: dict = {}
+        for _ in range(repeat):
+            start = time.perf_counter()
+            extra = fn()
+            best = min(best, time.perf_counter() - start)
+        results[name] = {"wall_s": round(best, 4), **extra}
+        print(f"{name:24s} {best:8.3f}s  {extra}")
+    return results
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, help="output JSON path (default BENCH_<date>.json)")
+    parser.add_argument("--baseline", default=None, help="older BENCH json to compute speedups against")
+    parser.add_argument("--repeat", type=int, default=1, help="repetitions per workload (best-of)")
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(repeat=args.repeat)
+    report = {
+        "date": datetime.date.today().isoformat(),
+        "git_rev": _git_rev(),
+        "python": sys.version.split()[0],
+        "workloads": results,
+    }
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        speedups = {}
+        for name, entry in results.items():
+            old = baseline.get("workloads", {}).get(name)
+            if old and entry["wall_s"] > 0:
+                speedups[name] = round(old["wall_s"] / entry["wall_s"], 2)
+        report["baseline_rev"] = baseline.get("git_rev")
+        report["baseline_wall_s"] = {
+            name: baseline["workloads"][name]["wall_s"]
+            for name in results if name in baseline.get("workloads", {})
+        }
+        report["speedup_vs_baseline"] = speedups
+        print("speedups vs baseline:", speedups)
+
+    out = Path(args.out) if args.out else REPO_ROOT / f"BENCH_{report['date']}.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

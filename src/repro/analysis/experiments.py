@@ -25,10 +25,9 @@ Design choices documented once here:
 from __future__ import annotations
 
 import math
-import random
 import statistics
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, Union
+from typing import Callable, Optional, Sequence
 
 from ..applications.mincut import approximate_min_cut, stoer_wagner_min_cut
 from ..applications.mst import boruvka_mst, default_shortcut_factory, kruskal_mst
@@ -66,7 +65,7 @@ from ..shortcuts.partition import Partition
 from ..shortcuts.shortcut_trees import ShortcutTree
 from ..graphs.traversal import shortest_path
 
-RandomLike = Union[random.Random, int, None]
+from ..rng import RandomLike, ensure_rng
 
 
 # ----------------------------------------------------------------------
@@ -159,7 +158,7 @@ def make_workload(kind: str, n: int, diameter_value: int, *, seed: int = 0) -> W
     Returns:
         A :class:`Workload`.
     """
-    rng = random.Random(seed)
+    rng = ensure_rng(seed)
     if kind == "hub":
         # A sparse layer of random chords between the non-backbone vertices
         # gives the graph enough path structure for the adversarial long-path
@@ -680,7 +679,7 @@ def run_shortcut_tree_experiment(
         for sampling_p in probabilities:
             successes = 0
             top_distances = []
-            rng = random.Random(seed)
+            rng = ensure_rng(seed)
             for _ in range(trials):
                 analysis = tree.analyze(
                     probability=sampling_p, rng=rng, diameter_value=diameter_value

@@ -28,9 +28,8 @@ Two execution modes are provided:
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Union
+from typing import Any, Callable, Optional
 
 from ..congest.network import Network
 from ..congest.primitives.bfs import DistributedBFS
@@ -38,7 +37,7 @@ from ..congest.primitives.trees import TreeAggregate
 from ..congest.scheduler import RandomDelayScheduler, draw_random_delays
 from ..shortcuts.shortcut import QualityReport, Shortcut
 
-RandomLike = Union[random.Random, int, None]
+from ..rng import RandomLike, ensure_rng
 
 _OPS: dict[str, Callable[[Any, Any], Any]] = {
     "min": min,
@@ -138,7 +137,7 @@ def _simulate(
     """Run the aggregation on the CONGEST simulator (both phases measured)."""
     partition = shortcut.partition
     graph = partition.graph
-    r = rng if isinstance(rng, random.Random) else random.Random(rng)
+    r = ensure_rng(rng)
     network = Network(graph, bandwidth=bandwidth)
     network.reset()
     # Seed the node values into local state, keyed per part: relay nodes that

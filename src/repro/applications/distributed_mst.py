@@ -34,7 +34,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Optional
 
 from ..congest.network import Network
 from ..congest.primitives.bfs import DistributedBFS
@@ -45,7 +45,7 @@ from ..graphs.graph import WeightedGraph, edge_key
 from ..shortcuts.kogan_parter import build_kogan_parter_shortcut
 from ..shortcuts.partition import Partition
 
-RandomLike = Union[random.Random, int, None]
+from ..rng import RandomLike, ensure_rng
 
 #: MWOE candidate used by nodes with no outgoing edge (compares larger than
 #: every real candidate tuple).
@@ -132,7 +132,7 @@ def distributed_boruvka_mst(
         A :class:`DistributedMSTResult`; the edge set equals the true MST.
     """
     n = graph.num_vertices
-    r = rng if isinstance(rng, random.Random) else random.Random(rng)
+    r = ensure_rng(rng)
     if max_phases is None:
         max_phases = math.ceil(math.log2(max(n, 2))) + 2
     if diameter_value is None and use_shortcuts:

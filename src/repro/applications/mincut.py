@@ -29,15 +29,14 @@ substitution is documented in DESIGN.md.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Union
+from typing import Callable, Optional
 
 from ..graphs.components import UnionFind
 from ..graphs.graph import WeightedGraph, edge_key
 from .mst import MSTResult, ShortcutFactory, boruvka_mst, default_shortcut_factory
 
-RandomLike = Union[random.Random, int, None]
+from ..rng import RandomLike, ensure_rng
 
 
 @dataclass

@@ -3,9 +3,13 @@
 In the CONGEST model each node may send one ``O(log n)``-bit message to each
 neighbour per synchronous round.  The simulator models this by treating one
 :class:`Message` as one bandwidth unit on a *directed link* ``(sender,
-receiver)``; the :class:`LinkQueue` enforces the per-round capacity by
-queueing excess messages, so that congestion automatically translates into
-extra rounds exactly as it would on a real network.
+receiver)``; link queues enforce the per-round capacity by queueing excess
+messages, so that congestion automatically translates into extra rounds
+exactly as it would on a real network.  (The engine in
+:mod:`repro.congest.network` keeps its per-link queues as flat ring-buffered
+lists indexed by dense link ids; the :class:`LinkQueue` class here is the
+same ring-buffer discipline as a stand-alone object, used by tests and by
+code that wants a single metered link.)
 
 Payloads are required to be small hashable tuples of integers/floats/strings
 (checked loosely) so that a message plausibly fits in ``O(log n)`` bits; the
@@ -15,9 +19,7 @@ ship whole data structures in one message.
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 
 class BandwidthExceededError(RuntimeError):
@@ -53,9 +55,12 @@ def check_payload(payload: Any) -> None:
     raise ValueError(f"payload {payload!r} is not a valid CONGEST message payload")
 
 
-@dataclass(frozen=True)
 class Message:
     """A single CONGEST message.
+
+    One instance is allocated per message; ``__slots__`` keeps that as cheap
+    as the engine's per-message bookkeeping allows.  Instances are treated as
+    immutable by convention.
 
     Attributes:
         sender: id of the sending node.
@@ -66,30 +71,61 @@ class Message:
             concurrently under the random-delay scheduler; 0 otherwise.
     """
 
-    sender: int
-    receiver: int
-    tag: str
-    payload: Any = None
-    algorithm_id: int = 0
+    __slots__ = ("sender", "receiver", "tag", "payload", "algorithm_id")
+
+    def __init__(self, sender: int, receiver: int, tag: str, payload: Any = None,
+                 algorithm_id: int = 0) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.tag = tag
+        self.payload = payload
+        self.algorithm_id = algorithm_id
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(sender={self.sender}, receiver={self.receiver}, "
+            f"tag={self.tag!r}, payload={self.payload!r}, algorithm_id={self.algorithm_id})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (
+            self.sender == other.sender
+            and self.receiver == other.receiver
+            and self.tag == other.tag
+            and self.payload == other.payload
+            and self.algorithm_id == other.algorithm_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.sender, self.receiver, self.tag, self.payload, self.algorithm_id))
 
 
-@dataclass
 class LinkQueue:
-    """FIFO queue of messages waiting on one directed link.
+    """Ring-buffered FIFO queue of messages waiting on one directed link.
+
+    Messages are appended to a flat list and drained ``capacity_per_round``
+    at a time by advancing a head cursor; the buffer is compacted only when
+    the dead prefix dominates, so steady-state operation is amortized O(1)
+    per message with no per-item node allocation.
 
     Attributes:
         capacity_per_round: how many messages may be delivered per round
             (1 in the plain CONGEST model).
-        pending: messages accepted but not yet delivered.
         delivered_count: total messages ever delivered over this link.
         max_backlog: largest backlog observed (a direct measure of link
             congestion).
     """
 
-    capacity_per_round: int = 1
-    pending: deque[Message] = field(default_factory=deque)
-    delivered_count: int = 0
-    max_backlog: int = 0
+    __slots__ = ("capacity_per_round", "delivered_count", "max_backlog", "_buf", "_head")
+
+    def __init__(self, capacity_per_round: int = 1) -> None:
+        self.capacity_per_round = capacity_per_round
+        self.delivered_count = 0
+        self.max_backlog = 0
+        self._buf: list[Message] = []
+        self._head = 0
 
     def enqueue(self, message: Message, *, strict: bool = False) -> None:
         """Accept a message for later delivery.
@@ -100,24 +136,44 @@ class LinkQueue:
                 queueing (useful for asserting that an algorithm respects its
                 claimed congestion bound).
         """
-        if strict and len(self.pending) >= self.capacity_per_round:
+        backlog = len(self._buf) - self._head
+        if strict and backlog >= self.capacity_per_round:
             raise BandwidthExceededError(
                 f"link {message.sender}->{message.receiver} exceeded capacity "
                 f"{self.capacity_per_round} per round"
             )
-        self.pending.append(message)
-        if len(self.pending) > self.max_backlog:
-            self.max_backlog = len(self.pending)
+        self._buf.append(message)
+        backlog += 1
+        if backlog > self.max_backlog:
+            self.max_backlog = backlog
 
     def drain(self) -> list[Message]:
         """Remove and return up to ``capacity_per_round`` messages for delivery."""
-        batch: list[Message] = []
-        for _ in range(min(self.capacity_per_round, len(self.pending))):
-            batch.append(self.pending.popleft())
-        self.delivered_count += len(batch)
+        head = self._head
+        take = min(self.capacity_per_round, len(self._buf) - head)
+        batch = self._buf[head:head + take]
+        head += take
+        if head >= len(self._buf):
+            self._buf.clear()
+            head = 0
+        elif head > 64 and head * 2 >= len(self._buf):
+            del self._buf[:head]
+            head = 0
+        self._head = head
+        self.delivered_count += take
         return batch
 
     @property
     def backlog(self) -> int:
         """Number of messages currently waiting on this link."""
-        return len(self.pending)
+        return len(self._buf) - self._head
+
+    @property
+    def pending(self) -> list[Message]:
+        """The waiting messages, oldest first.
+
+        This is a snapshot copy (the seed version exposed the live deque):
+        mutating the returned list does not affect the queue.  Use
+        :meth:`enqueue` / :meth:`drain` to change queue state.
+        """
+        return self._buf[self._head:]

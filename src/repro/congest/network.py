@@ -16,16 +16,29 @@ CONGEST model charges.  The engine records the metrics the paper's bounds
 talk about: total rounds to quiescence, total messages, the maximum backlog
 observed on any link (a per-link congestion proxy) and per-edge message
 counts.
+
+Batched delivery engine
+-----------------------
+Links are indexed by dense *directed link ids* derived from the graph's CSR
+snapshot: the undirected edge with id ``e`` (canonical ``(u, v)``, ``u < v``)
+owns link ``2e`` for the ``u -> v`` direction and ``2e + 1`` for ``v -> u``.
+Per-link queues are flat ring-buffered lists drained ``bandwidth`` at a time,
+per-edge message counters live in one ``array('l')`` indexed by edge id
+(exposed through the lazily materialized
+:attr:`RunMetrics.per_edge_messages` dict property), and each round only
+visits the links that actually have pending traffic (an active-link
+worklist) instead of scanning every directed link.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..graphs.graph import Graph, edge_key
+from ..graphs.graph import Graph
 from .algorithm import ComposedAlgorithm, DistributedAlgorithm
-from .message import LinkQueue, Message
+from .message import BandwidthExceededError, Message
 from .node import NodeContext
 
 
@@ -42,8 +55,6 @@ class RunMetrics:
         messages_sent: total messages handed to the network by nodes.
         messages_delivered: total messages delivered to receivers.
         max_link_backlog: largest queue length observed on any directed link.
-        per_edge_messages: messages that crossed each undirected edge (both
-            directions summed), keyed by canonical edge tuple.
         terminated: ``True`` if the run reached quiescence (as opposed to
             being stopped by ``max_rounds`` with ``raise_on_limit=False``).
     """
@@ -52,13 +63,28 @@ class RunMetrics:
     messages_sent: int = 0
     messages_delivered: int = 0
     max_link_backlog: int = 0
-    per_edge_messages: dict[tuple[int, int], int] = field(default_factory=dict)
     terminated: bool = False
+    _edge_counts: Optional[array] = field(default=None, repr=False, compare=False)
+    _edge_list: Optional[list] = field(default=None, repr=False, compare=False)
+
+    @property
+    def per_edge_messages(self) -> dict[tuple[int, int], int]:
+        """Messages that crossed each undirected edge (both directions summed).
+
+        Keyed by canonical edge tuple and materialized lazily from the flat
+        edge-id counter array; edges that carried no message are omitted.
+        """
+        if self._edge_counts is None or self._edge_list is None:
+            return {}
+        edge_list = self._edge_list
+        return {edge_list[e]: c for e, c in enumerate(self._edge_counts) if c}
 
     @property
     def max_edge_messages(self) -> int:
         """Largest number of messages carried by any single undirected edge."""
-        return max(self.per_edge_messages.values(), default=0)
+        if self._edge_counts is None or not self._edge_counts:
+            return 0
+        return max(self._edge_counts)
 
 
 class Network:
@@ -82,7 +108,6 @@ class Network:
         self.bandwidth = bandwidth
         self.strict_bandwidth = strict_bandwidth
         self.nodes: dict[int, NodeContext] = {}
-        self._links: dict[tuple[int, int], LinkQueue] = {}
         self.reset()
 
     # ------------------------------------------------------------------
@@ -92,10 +117,25 @@ class Network:
             v: NodeContext(node_id=v, neighbors=tuple(sorted(self.graph.neighbors(v))))
             for v in self.graph.vertices()
         }
-        self._links = {}
-        for u, v in self.graph.edges():
-            self._links[(u, v)] = LinkQueue(capacity_per_round=self.bandwidth)
-            self._links[(v, u)] = LinkQueue(capacity_per_round=self.bandwidth)
+        csr = self.graph.csr()
+        self._csr = csr
+        num_links = 2 * csr.num_edges
+        # Directed link 2e carries lo -> hi of canonical edge e; 2e + 1 the
+        # reverse.  _link_of resolves a (sender, receiver) pair to its id.
+        link_of: dict[tuple[int, int], int] = {}
+        receiver_of = array("l", [0]) * num_links
+        for eid, (u, v) in enumerate(csr.edge_list):
+            link_of[(u, v)] = 2 * eid
+            link_of[(v, u)] = 2 * eid + 1
+            receiver_of[2 * eid] = v
+            receiver_of[2 * eid + 1] = u
+        self._link_of = link_of
+        self._receiver_of = receiver_of
+        self._queues: list[list[Message]] = [[] for _ in range(num_links)]
+        self._heads = array("l", [0]) * num_links
+        self._link_max_backlog = array("l", [0]) * num_links
+        self._active: list[int] = []
+        self._is_active = bytearray(num_links)
 
     def node(self, v: int) -> NodeContext:
         """Return the :class:`NodeContext` of node ``v`` (for inspecting outputs)."""
@@ -131,12 +171,14 @@ class Network:
         if reset:
             self.reset()
         metrics = RunMetrics()
+        metrics._edge_counts = array("l", [0]) * self._csr.num_edges
+        metrics._edge_list = self._csr.edge_list
         for ctx in self.nodes.values():
             algorithm.initialize(ctx)
         self._collect_outgoing(metrics)
 
         while metrics.rounds < max_rounds:
-            if self._is_quiescent(algorithm):
+            if self._is_quiescent():
                 if isinstance(algorithm, ComposedAlgorithm):
                     advanced = False
                     for ctx in self.nodes.values():
@@ -150,11 +192,12 @@ class Network:
             metrics.rounds += 1
             inboxes = self._deliver(metrics)
             for v, ctx in self.nodes.items():
-                incoming = inboxes.get(v, [])
+                incoming = inboxes.get(v)
                 if incoming:
                     ctx.wake()
-                if incoming or not ctx.halted:
                     algorithm.on_round(ctx, incoming)
+                elif not ctx.halted:
+                    algorithm.on_round(ctx, [])
             self._collect_outgoing(metrics)
 
         if raise_on_limit:
@@ -169,34 +212,90 @@ class Network:
     # ------------------------------------------------------------------
     def _deliver(self, metrics: RunMetrics) -> dict[int, list[Message]]:
         inboxes: dict[int, list[Message]] = {}
-        for (u, v), queue in self._links.items():
-            if not queue.pending:
-                continue
-            for message in queue.drain():
-                inboxes.setdefault(v, []).append(message)
-                metrics.messages_delivered += 1
-                key = edge_key(u, v)
-                metrics.per_edge_messages[key] = metrics.per_edge_messages.get(key, 0) + 1
-            if queue.max_backlog > metrics.max_link_backlog:
-                metrics.max_link_backlog = queue.max_backlog
+        active = self._active
+        if not active:
+            return inboxes
+        bandwidth = self.bandwidth
+        queues = self._queues
+        heads = self._heads
+        receiver_of = self._receiver_of
+        link_max = self._link_max_backlog
+        edge_counts = metrics._edge_counts
+        still_active: list[int] = []
+        delivered = 0
+        for link in active:
+            buf = queues[link]
+            head = heads[link]
+            take = min(bandwidth, len(buf) - head)
+            batch = buf[head:head + take]
+            head += take
+            if head >= len(buf):
+                buf.clear()
+                head = 0
+                self._is_active[link] = 0
+            else:
+                if head > 64 and head * 2 >= len(buf):
+                    del buf[:head]
+                    head = 0
+                still_active.append(link)
+            heads[link] = head
+
+            receiver = receiver_of[link]
+            inbox = inboxes.get(receiver)
+            if inbox is None:
+                inboxes[receiver] = batch
+            else:
+                inbox.extend(batch)
+            delivered += take
+            edge_counts[link >> 1] += take
+            if link_max[link] > metrics.max_link_backlog:
+                metrics.max_link_backlog = link_max[link]
+        metrics.messages_delivered += delivered
+        self._active = still_active
         return inboxes
 
     def _collect_outgoing(self, metrics: RunMetrics) -> None:
+        link_of = self._link_of
+        queues = self._queues
+        heads = self._heads
+        link_max = self._link_max_backlog
+        is_active = self._is_active
+        active = self._active
+        strict = self.strict_bandwidth
+        bandwidth = self.bandwidth
+        sent = 0
         for ctx in self.nodes.values():
+            if not ctx._outbox:
+                ctx._sent_this_round.clear()
+                continue
             for message in ctx._collect_outbox():
-                link = self._links.get((message.sender, message.receiver))
+                link = link_of.get((message.sender, message.receiver))
                 if link is None:
                     raise ValueError(
                         f"message {message} uses non-existent link "
                         f"({message.sender}, {message.receiver})"
                     )
-                link.enqueue(message, strict=self.strict_bandwidth)
-                metrics.messages_sent += 1
+                buf = queues[link]
+                backlog = len(buf) - heads[link]
+                if strict and backlog >= bandwidth:
+                    raise BandwidthExceededError(
+                        f"link {message.sender}->{message.receiver} exceeded capacity "
+                        f"{bandwidth} per round"
+                    )
+                buf.append(message)
+                backlog += 1
+                if backlog > link_max[link]:
+                    link_max[link] = backlog
+                if not is_active[link]:
+                    is_active[link] = 1
+                    active.append(link)
+                sent += 1
+        metrics.messages_sent += sent
 
-    def _is_quiescent(self, algorithm: DistributedAlgorithm) -> bool:
+    def _is_quiescent(self) -> bool:
         # Quiescence is a structural property: no message is in flight and
         # every node has locally halted.  (Algorithms signal "nothing left to
         # do" by halting; halted nodes are woken again by incoming messages.)
-        if any(link.pending for link in self._links.values()):
+        if self._active:
             return False
         return all(ctx.halted for ctx in self.nodes.values())

@@ -23,14 +23,13 @@ simultaneously.  This module provides :class:`RandomDelayScheduler`, a
 
 from __future__ import annotations
 
-import random
-from typing import Optional, Sequence, Union
+from typing import Sequence
 
 from .algorithm import DistributedAlgorithm
 from .message import Message
 from .node import NodeContext
 
-RandomLike = Union[random.Random, int, None]
+from ..rng import RandomLike, ensure_rng
 
 
 def draw_random_delays(
@@ -49,7 +48,7 @@ def draw_random_delays(
         raise ValueError("num_algorithms must be non-negative")
     if max_delay < 0:
         raise ValueError("max_delay must be non-negative")
-    r = rng if isinstance(rng, random.Random) else random.Random(rng)
+    r = ensure_rng(rng)
     return [r.randint(0, max_delay) for _ in range(num_algorithms)]
 
 

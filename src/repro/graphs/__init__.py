@@ -20,6 +20,14 @@ from .components import (
     connected_components,
     spanning_forest,
 )
+from .csr import (
+    UNREACHED,
+    CSRGraph,
+    LocalSubgraphCSR,
+    bfs_levels,
+    bfs_parents,
+    component_labels,
+)
 from .generators import (
     binary_tree_graph,
     cluster_star_graph,
@@ -72,6 +80,12 @@ __all__ = [
     "WeightedGraph",
     "edge_key",
     "union_subgraph",
+    "CSRGraph",
+    "LocalSubgraphCSR",
+    "UNREACHED",
+    "bfs_levels",
+    "bfs_parents",
+    "component_labels",
     "INFINITY",
     "bfs_distances",
     "bfs_tree",

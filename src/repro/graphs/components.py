@@ -12,6 +12,7 @@ from collections import deque
 from collections.abc import Iterable
 from typing import Optional
 
+from .csr import component_labels
 from .graph import Graph, edge_key
 
 
@@ -29,9 +30,15 @@ def connected_components(
         vertices: restrict to this vertex set (default: all vertices).
     """
     if vertices is None:
-        verts = set(graph.vertices())
-    else:
-        verts = set(vertices)
+        # Unrestricted: label components frontier-at-a-time on the CSR
+        # snapshot; labels are assigned in order of smallest member, which is
+        # exactly this function's ordering contract.
+        labels, count = component_labels(graph.csr())
+        comps: list[set[int]] = [set() for _ in range(count)]
+        for v, label in enumerate(labels):
+            comps[label].add(v)
+        return comps
+    verts = set(vertices)
     seen: set[int] = set()
     components: list[set[int]] = []
     for start in sorted(verts):
@@ -69,30 +76,34 @@ def components_from_edges(
             returned as singleton components; otherwise only vertices touched
             by an edge appear.
     """
-    adj: dict[int, set[int]] = {}
+    # Union-find over only the touched vertices: no adjacency materialization
+    # and no per-vertex queue churn (this runs once per Boruvka phase).
+    parent: dict[int, int] = {}
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
     for u, v in edges:
         a, b = edge_key(u, v)
-        adj.setdefault(a, set()).add(b)
-        adj.setdefault(b, set()).add(a)
-    seen: set[int] = set()
-    components: list[set[int]] = []
-    for start in sorted(adj):
-        if start in seen:
-            continue
-        comp = {start}
-        seen.add(start)
-        queue: deque[int] = deque([start])
-        while queue:
-            u = queue.popleft()
-            for v in adj[u]:
-                if v not in seen:
-                    seen.add(v)
-                    comp.add(v)
-                    queue.append(v)
-        components.append(comp)
+        if a not in parent:
+            parent[a] = a
+        if b not in parent:
+            parent[b] = b
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+    by_root: dict[int, set[int]] = {}
+    for v in parent:
+        by_root.setdefault(find(v), set()).add(v)
+    components = sorted(by_root.values(), key=min)
     if include_isolated:
         for v in range(num_vertices):
-            if v not in seen:
+            if v not in parent:
                 components.append({v})
     return components
 

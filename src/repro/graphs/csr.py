@@ -1,0 +1,309 @@
+"""Immutable compressed-sparse-row (CSR) graph snapshots and array kernels.
+
+Every quantity the paper measures — rounds, per-edge congestion, dilation of
+the augmented subgraphs — reduces to graph traversals and per-edge counters.
+The mutable :class:`~repro.graphs.graph.Graph` (adjacency sets) is the
+construction-time front door; the hot paths run on a :class:`CSRGraph`
+snapshot instead:
+
+* ``indptr`` / ``indices`` are the usual CSR arrays: the neighbours of ``v``
+  are ``indices[indptr[v]:indptr[v+1]]``, sorted ascending;
+* every undirected edge has a dense *edge id* (its index in the sorted
+  canonical edge list), and ``edge_ids`` holds, parallel to ``indices``, the
+  id of the edge each adjacency entry crosses — so per-edge bookkeeping is a
+  flat array indexed by edge id instead of a dict keyed by tuples;
+* the traversal kernels below work frontier-at-a-time over flat ``array``
+  distance labels, avoiding the per-vertex set/dict churn of the legacy
+  implementations while producing identical results (the equivalence suite
+  in ``tests/test_csr.py`` pins this down).
+
+Snapshots are built once per graph via :meth:`Graph.csr` (cached, invalidated
+on mutation) and shared by the traversal layer, the shortcut quality
+measurements and the CONGEST engine's link/edge indexing.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Iterable
+from typing import Optional
+
+#: Distance label used for unreached vertices in the array kernels.
+UNREACHED = -1
+
+
+class CSRGraph:
+    """An immutable CSR snapshot of a simple undirected graph.
+
+    Edge ids are assigned by sorting the canonical edge tuples, so they are
+    deterministic for a given edge set and stable across snapshots of equal
+    graphs.  Instances are created via :meth:`from_graph` or
+    :meth:`from_edges`; do not mutate the arrays.
+
+    Attributes:
+        num_vertices: size of the vertex id space.
+        num_edges: number of undirected edges (``m``).
+        edge_list: canonical ``(u, v)`` tuple of every edge, indexed by edge
+            id (sorted ascending).
+        indptr: ``array('l')`` of length ``n + 1``; adjacency row pointers.
+        indices: ``array('l')`` of length ``2m``; concatenated neighbour
+            lists, each sorted ascending.
+        edge_ids: ``array('l')`` of length ``2m``; ``edge_ids[i]`` is the edge
+            id crossed by the adjacency entry ``indices[i]``.
+    """
+
+    __slots__ = ("num_vertices", "num_edges", "edge_list", "indptr", "indices",
+                 "edge_ids", "_edge_id_map")
+
+    def __init__(self, num_vertices: int, edge_list: list[tuple[int, int]]) -> None:
+        n = num_vertices
+        m = len(edge_list)
+        self.num_vertices = n
+        self.num_edges = m
+        self.edge_list = edge_list
+        deg = [0] * n
+        for u, v in edge_list:
+            deg[u] += 1
+            deg[v] += 1
+        indptr = array("l", [0]) * (n + 1)
+        for v in range(n):
+            indptr[v + 1] = indptr[v] + deg[v]
+        cursor = list(indptr[:n])
+        indices = array("l", [0]) * (2 * m)
+        edge_ids = array("l", [0]) * (2 * m)
+        # Filling in edge-id order yields ascending neighbour lists: for a
+        # vertex x, all canonical edges (w, x) with w < x sort before every
+        # (x, v), and both groups are ascending in the other endpoint.
+        for eid, (u, v) in enumerate(edge_list):
+            cu = cursor[u]
+            indices[cu] = v
+            edge_ids[cu] = eid
+            cursor[u] = cu + 1
+            cv = cursor[v]
+            indices[cv] = u
+            edge_ids[cv] = eid
+            cursor[v] = cv + 1
+        self.indptr = indptr
+        self.indices = indices
+        self.edge_ids = edge_ids
+        self._edge_id_map: Optional[dict[tuple[int, int], int]] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph) -> "CSRGraph":
+        """Build a snapshot of a :class:`~repro.graphs.graph.Graph`."""
+        return cls(graph.num_vertices, sorted(graph.edges()))
+
+    @classmethod
+    def from_edges(cls, num_vertices: int, edges: Iterable[tuple[int, int]]) -> "CSRGraph":
+        """Build a snapshot from an edge iterable (canonicalized and sorted)."""
+        canonical = {(u, v) if u < v else (v, u) for u, v in edges}
+        return cls(num_vertices, sorted(canonical))
+
+    # ------------------------------------------------------------------
+    @property
+    def edge_id_map(self) -> dict[tuple[int, int], int]:
+        """Canonical edge tuple -> edge id map (built lazily, then O(1) lookups)."""
+        mapping = self._edge_id_map
+        if mapping is None:
+            mapping = {e: i for i, e in enumerate(self.edge_list)}
+            self._edge_id_map = mapping
+        return mapping
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Return the edge id of ``{u, v}`` (either endpoint order).
+
+        Raises:
+            KeyError: if the edge is not present.
+        """
+        key = (u, v) if u < v else (v, u)
+        return self.edge_id_map[key]
+
+    def degree(self, v: int) -> int:
+        """Return the degree of ``v``."""
+        return self.indptr[v + 1] - self.indptr[v]
+
+    def neighbors(self, v: int) -> array:
+        """Return the neighbours of ``v`` as an ascending ``array('l')`` slice."""
+        return self.indices[self.indptr[v]:self.indptr[v + 1]]
+
+    def incident_edge_ids(self, v: int) -> array:
+        """Return the ids of the edges incident to ``v``."""
+        return self.edge_ids[self.indptr[v]:self.indptr[v + 1]]
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n={self.num_vertices}, m={self.num_edges})"
+
+
+# ----------------------------------------------------------------------
+# frontier-at-a-time kernels
+# ----------------------------------------------------------------------
+def bfs_levels(
+    csr: CSRGraph,
+    sources: Iterable[int],
+    *,
+    max_depth: Optional[int] = None,
+    mask: Optional[bytearray] = None,
+) -> tuple[array, list[int]]:
+    """Multi-source BFS over a CSR snapshot.
+
+    Args:
+        csr: the graph snapshot.
+        sources: start vertices (distance 0).
+        max_depth: stop expanding beyond this depth.
+        mask: optional ``bytearray`` of length ``n``; vertices with a zero
+            entry are never visited (sources must be allowed by the caller).
+
+    Returns:
+        ``(dist, visited)`` where ``dist`` is an ``array('l')`` with
+        :data:`UNREACHED` for unreached vertices and ``visited`` lists every
+        reached vertex in BFS discovery order (sources first).
+    """
+    n = csr.num_vertices
+    dist = array("l", [UNREACHED]) * n
+    indptr = csr.indptr
+    indices = csr.indices
+    frontier: list[int] = []
+    for s in sources:
+        if dist[s] == UNREACHED:
+            dist[s] = 0
+            frontier.append(s)
+    visited = list(frontier)
+    depth = 0
+    while frontier and (max_depth is None or depth < max_depth):
+        depth += 1
+        nxt: list[int] = []
+        for u in frontier:
+            for v in indices[indptr[u]:indptr[u + 1]]:
+                if dist[v] == UNREACHED and (mask is None or mask[v]):
+                    dist[v] = depth
+                    nxt.append(v)
+        visited.extend(nxt)
+        frontier = nxt
+    return dist, visited
+
+
+def bfs_parents(
+    csr: CSRGraph,
+    sources: Iterable[int],
+    *,
+    max_depth: Optional[int] = None,
+    mask: Optional[bytearray] = None,
+) -> tuple[array, array, list[int]]:
+    """Multi-source BFS tree over a CSR snapshot.
+
+    Returns:
+        ``(parent, dist, visited)``; ``parent`` is an ``array('l')`` with the
+        BFS parent of every reached vertex (sources point to themselves) and
+        :data:`UNREACHED` elsewhere.
+    """
+    n = csr.num_vertices
+    dist = array("l", [UNREACHED]) * n
+    parent = array("l", [UNREACHED]) * n
+    indptr = csr.indptr
+    indices = csr.indices
+    frontier: list[int] = []
+    for s in sources:
+        if dist[s] == UNREACHED:
+            dist[s] = 0
+            parent[s] = s
+            frontier.append(s)
+    visited = list(frontier)
+    depth = 0
+    while frontier and (max_depth is None or depth < max_depth):
+        depth += 1
+        nxt: list[int] = []
+        for u in frontier:
+            for v in indices[indptr[u]:indptr[u + 1]]:
+                if dist[v] == UNREACHED and (mask is None or mask[v]):
+                    dist[v] = depth
+                    parent[v] = u
+                    nxt.append(v)
+        visited.extend(nxt)
+        frontier = nxt
+    return parent, dist, visited
+
+
+def component_labels(csr: CSRGraph) -> tuple[array, int]:
+    """Label the connected components of a CSR snapshot.
+
+    Components are numbered ``0, 1, ...`` in order of their smallest member
+    (so labels are deterministic and match the ordering contract of
+    :func:`repro.graphs.components.connected_components`).
+
+    Returns:
+        ``(labels, num_components)`` with ``labels`` an ``array('l')``.
+    """
+    n = csr.num_vertices
+    labels = array("l", [UNREACHED]) * n
+    indptr = csr.indptr
+    indices = csr.indices
+    current = 0
+    for start in range(n):
+        if labels[start] != UNREACHED:
+            continue
+        labels[start] = current
+        frontier = [start]
+        while frontier:
+            nxt: list[int] = []
+            for u in frontier:
+                for v in indices[indptr[u]:indptr[u + 1]]:
+                    if labels[v] == UNREACHED:
+                        labels[v] = current
+                        nxt.append(v)
+            frontier = nxt
+        current += 1
+    return labels, current
+
+
+class LocalSubgraphCSR:
+    """A compact CSR-like view of a subgraph, re-labelled to local ids.
+
+    Built once from an edge list plus extra (possibly isolated) vertices and
+    then traversed many times — this is the workhorse of the dilation
+    measurement, where every part's augmented subgraph is BFS-ed from many
+    sources.  Local ids are assigned in ascending global-vertex order.
+
+    Attributes:
+        vertices: sorted global ids of the subgraph's vertices.
+        local_of: map global id -> local id.
+        adjacency: list of local-id neighbour lists.
+    """
+
+    __slots__ = ("vertices", "local_of", "adjacency")
+
+    def __init__(self, edges: Iterable[tuple[int, int]], extra_vertices: Iterable[int] = ()) -> None:
+        edges = list(edges)
+        verts: set[int] = set(extra_vertices)
+        for u, v in edges:
+            verts.add(u)
+            verts.add(v)
+        self.vertices = sorted(verts)
+        self.local_of = {g: i for i, g in enumerate(self.vertices)}
+        adjacency: list[list[int]] = [[] for _ in self.vertices]
+        local_of = self.local_of
+        for u, v in edges:
+            lu = local_of[u]
+            lv = local_of[v]
+            adjacency[lu].append(lv)
+            adjacency[lv].append(lu)
+        self.adjacency = adjacency
+
+    def bfs_distances(self, source_global: int) -> array:
+        """Return local-id hop distances from a global source vertex."""
+        adjacency = self.adjacency
+        dist = array("l", [UNREACHED]) * len(adjacency)
+        s = self.local_of[source_global]
+        dist[s] = 0
+        frontier = [s]
+        depth = 0
+        while frontier:
+            depth += 1
+            nxt: list[int] = []
+            for u in frontier:
+                for v in adjacency[u]:
+                    if dist[v] == UNREACHED:
+                        dist[v] = depth
+                        nxt.append(v)
+            frontier = nxt
+        return dist

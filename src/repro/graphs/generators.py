@@ -19,19 +19,11 @@ integer seed) so that experiments are reproducible.
 from __future__ import annotations
 
 import random
-from typing import Optional, Union
 
 from .graph import Graph, WeightedGraph
 from .traversal import diameter, diameter_lower_bound_double_sweep, is_connected
 
-RandomLike = Union[random.Random, int, None]
-
-
-def _rng(rng: RandomLike) -> random.Random:
-    """Normalize a seed / Random / None argument to a Random instance."""
-    if isinstance(rng, random.Random):
-        return rng
-    return random.Random(rng)
+from ..rng import RandomLike, ensure_rng as _rng
 
 
 # ----------------------------------------------------------------------

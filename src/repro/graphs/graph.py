@@ -25,7 +25,10 @@ shortcut congestion accounting.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from .csr import CSRGraph
 
 
 def edge_key(u: int, v: int) -> tuple[int, int]:
@@ -61,6 +64,7 @@ class Graph:
         self._n = num_vertices
         self._adj: list[set[int]] = [set() for _ in range(num_vertices)]
         self._num_edges = 0
+        self._csr_cache: Optional["CSRGraph"] = None
         if edges is not None:
             for u, v in edges:
                 self.add_edge(u, v)
@@ -140,6 +144,7 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._num_edges += 1
+        self._csr_cache = None
         return True
 
     def remove_edge(self, u: int, v: int) -> bool:
@@ -155,7 +160,25 @@ class Graph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._num_edges -= 1
+        self._csr_cache = None
         return True
+
+    # ------------------------------------------------------------------
+    # CSR snapshot
+    # ------------------------------------------------------------------
+    def csr(self) -> "CSRGraph":
+        """Return the cached CSR snapshot of this graph.
+
+        The snapshot is built on first use and invalidated whenever an edge
+        is added or removed, so hot paths (traversal, congestion counters,
+        the CONGEST engine) can rely on its dense edge ids while the mutable
+        ``Graph`` API stays the construction-time front door.
+        """
+        if self._csr_cache is None:
+            from .csr import CSRGraph
+
+            self._csr_cache = CSRGraph.from_graph(self)
+        return self._csr_cache
 
     # ------------------------------------------------------------------
     # derived graphs
@@ -323,6 +346,15 @@ class WeightedGraph(Graph):
             KeyError: if the edge is absent.
         """
         return self._weights[edge_key(u, v)]
+
+    def weight_array(self) -> list[float]:
+        """Return edge weights aligned with the CSR snapshot's edge ids.
+
+        ``weight_array()[e]`` is the weight of ``csr().edge_list[e]``, which
+        is what the edge-major application loops (Boruvka MWOE scans, tree
+        packing) index by.
+        """
+        return [self._weights[e] for e in self.csr().edge_list]
 
     def weighted_edges(self) -> Iterator[tuple[int, int, float]]:
         """Iterate over ``(u, v, weight)`` triples in canonical edge order."""

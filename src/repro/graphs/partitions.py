@@ -17,21 +17,13 @@ wrapper validates and freezes the result.
 
 from __future__ import annotations
 
-import random
 from collections import deque
-from typing import Optional, Union
 
 from .components import connected_components
 from .graph import Graph
 from .traversal import bfs_distances
 
-RandomLike = Union[random.Random, int, None]
-
-
-def _rng(rng: RandomLike) -> random.Random:
-    if isinstance(rng, random.Random):
-        return rng
-    return random.Random(rng)
+from ..rng import RandomLike, ensure_rng as _rng
 
 
 def random_connected_partition(

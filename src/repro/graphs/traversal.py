@@ -12,6 +12,13 @@ The functions here operate on any :class:`~repro.graphs.graph.Graph`
 (including :class:`~repro.graphs.graph.Subgraph` views) and on optional
 vertex restrictions, so the same code serves the full graph, induced parts
 and augmented subgraphs.
+
+Unrestricted traversals of a real :class:`Graph` run frontier-at-a-time on
+the graph's cached :class:`~repro.graphs.csr.CSRGraph` snapshot (flat array
+distance labels instead of per-vertex dict/set churn); traversals with an
+``allowed`` restriction, and traversals of duck-typed adjacency views, fall
+back to the legacy queue implementation.  Both paths return identical
+results (pinned by ``tests/test_csr.py``).
 """
 
 from __future__ import annotations
@@ -20,10 +27,18 @@ from collections import deque
 from collections.abc import Iterable
 from typing import Optional
 
+from .csr import bfs_levels, bfs_parents
 from .graph import Graph, Subgraph
 
 #: Distance value used for unreachable vertices.
 INFINITY = float("inf")
+
+
+def _csr_or_none(graph: Graph, allowed: Optional[set[int]]):
+    """Return the graph's CSR snapshot when the fast path applies."""
+    if allowed is None and isinstance(graph, Graph):
+        return graph.csr()
+    return None
 
 
 def bfs_distances(
@@ -49,6 +64,11 @@ def bfs_distances(
     """
     if allowed is not None and source not in allowed:
         raise ValueError(f"source {source} is not in the allowed vertex set")
+    csr = _csr_or_none(graph, allowed)
+    if csr is not None:
+        graph._check_vertex(source)
+        levels, visited = bfs_levels(csr, (source,), max_depth=max_depth)
+        return {v: levels[v] for v in visited}
     dist: dict[int, int] = {source: 0}
     queue: deque[int] = deque([source])
     while queue:
@@ -81,6 +101,14 @@ def bfs_tree(
     """
     if allowed is not None and source not in allowed:
         raise ValueError(f"source {source} is not in the allowed vertex set")
+    csr = _csr_or_none(graph, allowed)
+    if csr is not None:
+        graph._check_vertex(source)
+        parents, levels, visited = bfs_parents(csr, (source,), max_depth=max_depth)
+        return (
+            {v: parents[v] for v in visited},
+            {v: levels[v] for v in visited},
+        )
     parent: dict[int, int] = {source: source}
     dist: dict[int, int] = {source: 0}
     queue: deque[int] = deque([source])
@@ -244,6 +272,9 @@ def distances_to_set(graph: Graph, targets: Iterable[int]) -> dict[int, int]:
     Used by the shortcut-tree construction, where layer depth bounds are
     phrased in terms of ``dist_G(P, Q) = max_{u in P} dist_G(u, Q)``.
     """
+    if isinstance(graph, Graph):
+        levels, visited = bfs_levels(graph.csr(), targets)
+        return {v: levels[v] for v in visited}
     dist: dict[int, int] = {}
     queue: deque[int] = deque()
     for t in targets:

@@ -1,0 +1,29 @@
+"""The shared randomness convention of the library.
+
+Every randomized public entry point (generators, partition builders, the
+shortcut samplers, the random-delay scheduler, the experiment harness)
+accepts a ``RandomLike`` argument — an integer seed, a ``random.Random``
+instance, or ``None`` — and normalizes it with :func:`ensure_rng`.  No module
+ever calls the module-level ``random`` functions, so every code path
+exercised by the experiments is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+#: Seed, generator instance, or None (fresh OS entropy).
+RandomLike = Union[random.Random, int, None]
+
+
+def ensure_rng(rng: RandomLike) -> random.Random:
+    """Normalize a :data:`RandomLike` argument to a ``random.Random``.
+
+    An existing generator is passed through unchanged (so callers can thread
+    one stream through several stages); an int seeds a fresh generator;
+    ``None`` yields a fresh OS-seeded generator.
+    """
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)

@@ -29,15 +29,14 @@ Three baselines are implemented:
 from __future__ import annotations
 
 import math
-import random
-from typing import Optional, Union
+from typing import Optional
 
 from ..graphs.graph import Graph
 from .kogan_parter import KoganParterResult, build_kogan_parter_shortcut
 from .partition import Partition
 from .shortcut import Shortcut
 
-RandomLike = Union[random.Random, int, None]
+from ..rng import RandomLike
 
 
 def build_ghaffari_haeupler_shortcut(

@@ -39,7 +39,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Optional
 
 from ..congest.network import Network, RunMetrics
 from ..congest.primitives.bfs import DistributedBFS
@@ -54,7 +54,7 @@ from .kogan_parter import (
 from .partition import Partition
 from .shortcut import Shortcut
 
-RandomLike = Union[random.Random, int, None]
+from ..rng import RandomLike, ensure_rng
 
 
 @dataclass
@@ -170,7 +170,7 @@ def build_distributed_kogan_parter(
     Returns:
         A :class:`DistributedShortcutResult`.
     """
-    r = rng if isinstance(rng, random.Random) else random.Random(rng)
+    r = ensure_rng(rng)
     if diameter_value is None:
         from ..graphs.traversal import diameter as graph_diameter
 

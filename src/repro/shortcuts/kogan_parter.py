@@ -21,14 +21,15 @@ shortcut-tree experiments in :mod:`repro.shortcuts.shortcut_trees`).
 
 Implementation notes
 --------------------
-* The construction is implemented *edge-major*: instead of flipping a coin
-  per (part, repetition, edge) we draw, for each directed edge and each
-  repetition, the binomially distributed number of parts that sample it and
-  then choose that many parts uniformly.  The resulting distribution over
-  shortcut sets is identical (each (edge, repetition, part) is an
-  independent Bernoulli(p)) while the work becomes proportional to the
-  number of *successful* samples, which is what the congestion bound counts
-  anyway.
+* The construction works in the edge-id space of the graph's CSR snapshot
+  (:meth:`~repro.graphs.graph.Graph.csr`): Step 1 bulk-inserts incident
+  edge ids straight from the CSR adjacency arrays, and Steps 2-3 draw, per
+  (large part, repetition), one vectorized Bernoulli(p) mask over all
+  directed edges and bulk-insert the successful ids.  Each (edge,
+  repetition, part) remains an independent Bernoulli(p) — exactly the
+  paper's per-node coin flips — but the Python-level work is proportional
+  to the number of parts times repetitions, not to the number of coin
+  flips.
 * ``log n`` factors dominate at simulation scale: for the ``n`` reachable in
   a Python simulator the paper's ``p`` often clamps to 1 (every edge joins
   every subgraph, which degenerates to the naive shortcut).  The
@@ -43,19 +44,17 @@ Implementation notes
 from __future__ import annotations
 
 import math
-import random
-from dataclasses import dataclass, field
-from typing import Optional, Union
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
-from ..graphs.graph import Graph, edge_key
+from ..graphs.graph import Graph
 from ..graphs.traversal import diameter as graph_diameter
 from ..params import k_d_value, large_part_threshold, num_large_parts
+from ..rng import RandomLike, ensure_rng
 from .partition import Partition
 from .shortcut import Shortcut
-
-RandomLike = Union[random.Random, int, None]
 
 
 @dataclass(frozen=True)
@@ -205,11 +204,12 @@ def build_kogan_parter_shortcut(
         log_factor=log_factor,
         large_threshold=large_threshold,
     )
-    r = rng if isinstance(rng, random.Random) else random.Random(rng)
+    r = ensure_rng(rng)
     np_rng = np.random.default_rng(r.getrandbits(64))
 
+    csr = graph.csr()
     large = partition.large_part_indices(threshold=params.large_threshold)
-    subgraphs: list[set[tuple[int, int]]] = [set() for _ in range(partition.num_parts)]
+    subgraph_ids: list[set[int]] = [set() for _ in range(partition.num_parts)]
     repetition_edges: Optional[dict[int, list[set[tuple[int, int]]]]] = None
     if track_repetitions:
         repetition_edges = {i: [set() for _ in range(params.repetitions)] for i in large}
@@ -219,56 +219,49 @@ def build_kogan_parter_shortcut(
     # (Applied to every part, large or small: it is free congestion-wise —
     # an edge can gain at most 2 this way — and it is what the paper states.)
     # ------------------------------------------------------------------
+    indptr = csr.indptr
+    edge_ids = csr.edge_ids
     for i in range(partition.num_parts):
+        ids = subgraph_ids[i]
         for u in partition.part(i):
-            for v in graph.neighbors(u):
-                subgraphs[i].add(edge_key(u, v))
+            ids.update(edge_ids[indptr[u]:indptr[u + 1]])
 
     # ------------------------------------------------------------------
-    # Steps 2-3: sampled edges for large parts only.
-    # Edge-major sampling: for each directed edge and repetition, draw how
-    # many of the |large| parts sample it (Binomial), then pick them.
+    # Steps 2-3: sampled edges for large parts only.  Directed edge d < 2m
+    # covers edge id d >> 1 in direction lo->hi (even d) or hi->lo (odd d);
+    # one Bernoulli(p) mask per (part, repetition) is drawn vectorized.
     # ------------------------------------------------------------------
     if large and params.probability > 0:
-        directed_edges: list[tuple[int, int]] = []
-        for u, v in graph.edges():
-            directed_edges.append((u, v))
-            directed_edges.append((v, u))
-        num_targets = len(large)
+        m = csr.num_edges
+        num_directed = 2 * m
+        edge_list = csr.edge_list
         p = params.probability
-        if p >= 1.0:
-            counts = np.full((len(directed_edges), params.repetitions), num_targets, dtype=np.int64)
-        else:
-            counts = np_rng.binomial(num_targets, p, size=(len(directed_edges), params.repetitions))
-        for e_idx, (u, v) in enumerate(directed_edges):
-            key = edge_key(u, v)
+        for part_idx in large:
+            ids = subgraph_ids[part_idx]
+            if p >= 1.0 and repetition_edges is None:
+                # Degenerate clamped regime: every repetition samples every
+                # edge, so the union is simply the whole edge set.
+                ids.update(range(m))
+                continue
             for rep in range(params.repetitions):
-                c = int(counts[e_idx, rep])
-                if c == 0:
-                    continue
-                if c >= num_targets:
-                    chosen = large
+                if p >= 1.0:
+                    sampled = np.arange(num_directed, dtype=np.int64)
                 else:
-                    chosen = [large[j] for j in _sample_indices(r, num_targets, c)]
-                for part_idx in chosen:
-                    # The paper's step 2 is performed by nodes u outside S_i;
-                    # if u happens to be inside, the edge is already present
-                    # from step 1 so adding it again changes nothing.
-                    subgraphs[part_idx].add(key)
-                    if repetition_edges is not None:
-                        repetition_edges[part_idx][rep].add((u, v))
+                    sampled = np.flatnonzero(np_rng.random(num_directed) < p)
+                # The paper's step 2 is performed by nodes u outside S_i; if
+                # u happens to be inside, the edge is already present from
+                # step 1 so adding it again changes nothing.
+                ids.update((sampled >> 1).tolist())
+                if repetition_edges is not None:
+                    rep_set = repetition_edges[part_idx][rep]
+                    for d in sampled.tolist():
+                        u, v = edge_list[d >> 1]
+                        rep_set.add((u, v) if d % 2 == 0 else (v, u))
 
-    shortcut = Shortcut(partition, subgraphs, validate_edges=False)
+    shortcut = Shortcut.from_edge_ids(partition, subgraph_ids)
     return KoganParterResult(
         shortcut=shortcut,
         parameters=params,
         large_part_indices=large,
         repetition_edges=repetition_edges,
     )
-
-
-def _sample_indices(r: random.Random, population: int, count: int) -> list[int]:
-    """Sample ``count`` distinct indices from ``range(population)``."""
-    if count >= population:
-        return list(range(population))
-    return r.sample(range(population), count)

@@ -28,16 +28,16 @@ the equivalence the paper's remark relies on.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional
 
-from ..graphs.graph import Graph, edge_key
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..rng import RandomLike, ensure_rng
 from .kogan_parter import KoganParterParameters, resolve_parameters
 from .partition import Partition
 from .shortcut import Shortcut
-
-RandomLike = Union[random.Random, int, None]
 
 
 @dataclass(frozen=True)
@@ -137,33 +137,38 @@ def build_odd_diameter_shortcut(
         probability=probability,
         log_factor=log_factor,
     )
-    r = rng if isinstance(rng, random.Random) else random.Random(rng)
+    r = ensure_rng(rng)
+    np_rng = np.random.default_rng(r.getrandbits(64))
     subdivided = subdivide_graph(graph)
     sqrt_p = math.sqrt(params.probability)
 
+    csr = graph.csr()
     large = partition.large_part_indices(threshold=params.large_threshold)
-    subgraphs: list[set[tuple[int, int]]] = [set() for _ in range(partition.num_parts)]
+    subgraph_ids: list[set[int]] = [set() for _ in range(partition.num_parts)]
 
     # Step 1: all edges incident to the part, deterministically (their
     # two-edge subdivided paths are taken with probability 1).
+    indptr = csr.indptr
+    edge_ids = csr.edge_ids
     for i in range(partition.num_parts):
+        ids = subgraph_ids[i]
         for u in partition.part(i):
-            for v in graph.neighbors(u):
-                subgraphs[i].add(edge_key(u, v))
+            ids.update(edge_ids[indptr[u]:indptr[u + 1]])
 
     # Steps 2-3 on G': for each large part, repetition and directed original
-    # edge, sample the two halves independently with sqrt(p) each.
-    directed_edges: list[tuple[int, int]] = []
-    for u, v in graph.edges():
-        directed_edges.append((u, v))
-        directed_edges.append((v, u))
+    # edge, sample the two halves independently with sqrt(p) each (the two
+    # vectorized masks below are exactly those independent half-edge flips).
+    num_directed = 2 * csr.num_edges
     for part_idx in large:
+        ids = subgraph_ids[part_idx]
         for _rep in range(params.repetitions):
-            for u, v in directed_edges:
-                if r.random() < sqrt_p and r.random() < sqrt_p:
-                    subgraphs[part_idx].add(edge_key(u, v))
+            kept = np.flatnonzero(
+                (np_rng.random(num_directed) < sqrt_p)
+                & (np_rng.random(num_directed) < sqrt_p)
+            )
+            ids.update((kept >> 1).tolist())
 
-    shortcut = Shortcut(partition, subgraphs, validate_edges=False)
+    shortcut = Shortcut.from_edge_ids(partition, subgraph_ids)
     return OddDiameterResult(
         shortcut=shortcut,
         parameters=params,

@@ -11,6 +11,13 @@ such that
 :class:`Shortcut` stores the ``H_i`` edge sets, exposes the augmented
 subgraphs and computes congestion, dilation and quality.
 
+Internally every ``H_i`` is a set of dense *edge ids* from the host graph's
+:class:`~repro.graphs.csr.CSRGraph` snapshot, so the congestion counters are
+flat ``array('l')`` accumulators indexed by edge id and the dilation BFS runs
+on compact local-id adjacency (see
+:class:`~repro.graphs.csr.LocalSubgraphCSR`) instead of per-call dict/set
+churn.  The public API is unchanged and still speaks canonical edge tuples.
+
 Measurement conventions
 -----------------------
 *Congestion* follows the definition exactly: for each edge we count the
@@ -30,16 +37,16 @@ augmented subgraph that contains the part, for completeness.
 
 from __future__ import annotations
 
-import random
+from array import array
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional, Sequence as SequenceT
 
-from ..graphs.graph import Graph, Subgraph, edge_key, union_subgraph
-from ..graphs.traversal import INFINITY, bfs_distances
+from ..graphs.csr import UNREACHED, LocalSubgraphCSR
+from ..graphs.graph import Graph, Subgraph, union_subgraph
+from ..graphs.traversal import INFINITY
+from ..rng import RandomLike, ensure_rng
 from .partition import Partition
-
-RandomLike = Union[random.Random, int, None]
 
 
 @dataclass(frozen=True)
@@ -77,9 +84,12 @@ class Shortcut:
         subgraphs: for each part, an iterable of edges (``(u, v)`` pairs of
             graph vertices) forming ``H_i``.  Every edge must exist in the
             host graph.  Missing trailing entries are treated as empty.
-        validate_edges: set to ``False`` to skip the per-edge existence check
-            (constructions that sample directly from adjacency lists already
-            guarantee it).
+        validate_edges: accepted for API compatibility but no longer skips
+            anything: every edge is resolved to its dense edge id, which
+            checks membership as a side effect at no extra cost.  (The seed
+            version could store edges absent from the host graph when this
+            was ``False``; the edge-id representation cannot, and no caller
+            in the repository relied on it.)
     """
 
     def __init__(
@@ -95,15 +105,59 @@ class Shortcut:
             )
         self.partition = partition
         self.graph = partition.graph
-        self._subgraphs: list[set[tuple[int, int]]] = []
+        self._csr = self.graph.csr()
+        eid_map = self._csr.edge_id_map
+        id_sets: list[set[int]] = []
+        # Several baselines pass the SAME edge list for every part; convert
+        # it once and share the conversion (not the set) across parts.  The
+        # cache value holds the keyed object itself so its id cannot be
+        # recycled by the allocator while the cache is alive.
+        conversion_cache: dict[int, tuple[object, set[int]]] = {}
         for i in range(partition.num_parts):
             edges = subgraphs[i] if i < len(subgraphs) else ()
-            canonical = {edge_key(u, v) for u, v in edges}
-            if validate_edges:
-                for u, v in canonical:
-                    if not self.graph.has_edge(u, v):
-                        raise ValueError(f"shortcut edge ({u}, {v}) is not an edge of the graph")
-            self._subgraphs.append(canonical)
+            hit = conversion_cache.get(id(edges))
+            if hit is not None and hit[0] is edges:
+                cached = hit[1]
+            else:
+                cached = set()
+                for u, v in edges:
+                    if u == v:
+                        raise ValueError(f"self-loop ({u}, {v}) is not a valid edge")
+                    key = (u, v) if u < v else (v, u)
+                    eid = eid_map.get(key)
+                    if eid is None:
+                        raise ValueError(
+                            f"shortcut edge ({key[0]}, {key[1]}) is not an edge of the graph"
+                        )
+                    cached.add(eid)
+                conversion_cache[id(edges)] = (edges, cached)
+            id_sets.append(set(cached))
+        self._init_from_ids(partition, id_sets)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_ids(cls, partition: Partition, id_sets: SequenceT[set[int]]) -> "Shortcut":
+        """Build a shortcut directly from per-part edge-id sets.
+
+        This is the fast entry point used by the samplers, which already work
+        in edge-id space; ids refer to ``partition.graph.csr()``.  Missing
+        trailing entries are treated as empty.
+        """
+        if len(id_sets) > partition.num_parts:
+            raise ValueError(
+                f"got {len(id_sets)} shortcut subgraphs for {partition.num_parts} parts"
+            )
+        self = cls.__new__(cls)
+        self.partition = partition
+        self.graph = partition.graph
+        self._csr = self.graph.csr()
+        padded = [set(id_sets[i]) if i < len(id_sets) else set() for i in range(partition.num_parts)]
+        self._init_from_ids(partition, padded)
+        return self
+
+    def _init_from_ids(self, partition: Partition, id_sets: list[set[int]]) -> None:
+        self._subgraph_ids = id_sets
+        self._part_edge_id_cache: list[Optional[frozenset[int]]] = [None] * partition.num_parts
 
     # ------------------------------------------------------------------
     @property
@@ -111,15 +165,42 @@ class Shortcut:
         """Number of parts (and of shortcut subgraphs)."""
         return self.partition.num_parts
 
+    def _part_edge_ids(self, index: int) -> frozenset[int]:
+        """Edge ids of the induced subgraph ``G[S_index]`` (cached)."""
+        cached = self._part_edge_id_cache[index]
+        if cached is None:
+            csr = self._csr
+            indptr = csr.indptr
+            indices = csr.indices
+            edge_ids = csr.edge_ids
+            part = self.partition.part(index)
+            ids: set[int] = set()
+            for u in part:
+                for i in range(indptr[u], indptr[u + 1]):
+                    v = indices[i]
+                    if v > u and v in part:
+                        ids.add(edge_ids[i])
+            cached = frozenset(ids)
+            self._part_edge_id_cache[index] = cached
+        return cached
+
+    def subgraph_edge_ids(self, index: int) -> set[int]:
+        """Return the edge ids of ``H_index`` (ids refer to ``graph.csr()``)."""
+        return set(self._subgraph_ids[index])
+
+    def augmented_edge_ids(self, index: int) -> set[int]:
+        """Return the edge ids of ``G[S_index] ∪ H_index``."""
+        return self._part_edge_ids(index) | self._subgraph_ids[index]
+
     def subgraph_edges(self, index: int) -> set[tuple[int, int]]:
         """Return the edge set ``H_index`` (canonical edge tuples)."""
-        return set(self._subgraphs[index])
+        edge_list = self._csr.edge_list
+        return {edge_list[e] for e in self._subgraph_ids[index]}
 
     def augmented_edges(self, index: int) -> set[tuple[int, int]]:
         """Return the edges of the augmented subgraph ``G[S_index] ∪ H_index``."""
-        edges = set(self.partition.part_edges(index))
-        edges |= self._subgraphs[index]
-        return edges
+        edge_list = self._csr.edge_list
+        return {edge_list[e] for e in self.augmented_edge_ids(index)}
 
     def augmented_subgraph(self, index: int) -> Subgraph:
         """Return ``G[S_index] ∪ H_index`` as a :class:`Subgraph`.
@@ -139,33 +220,42 @@ class Shortcut:
         with ("each node knows its incident edges in each ``G[S_i] ∪ H_i``").
         """
         adj: dict[int, set[int]] = {v: set() for v in self.partition.part(index)}
-        for u, v in self.augmented_edges(index):
+        edge_list = self._csr.edge_list
+        for e in self.augmented_edge_ids(index):
+            u, v = edge_list[e]
             adj.setdefault(u, set()).add(v)
             adj.setdefault(v, set()).add(u)
         return adj
 
     def total_shortcut_edges(self) -> int:
         """Return the total number of shortcut edges summed over parts."""
-        return sum(len(s) for s in self._subgraphs)
+        return sum(len(s) for s in self._subgraph_ids)
 
     # ------------------------------------------------------------------
     # quality measures
     # ------------------------------------------------------------------
+    def _edge_load_array(self) -> array:
+        """Per-edge load as a flat ``array('l')`` indexed by edge id."""
+        load = array("l", [0]) * self._csr.num_edges
+        for i in range(self.num_parts):
+            for e in self._part_edge_ids(i):
+                load[e] += 1
+            shortcut_ids = self._subgraph_ids[i]
+            part_ids = self._part_edge_id_cache[i]
+            for e in shortcut_ids:
+                if e not in part_ids:  # type: ignore[operator]
+                    load[e] += 1
+        return load
+
     def congestion(self) -> int:
         """Return the congestion: max #augmented subgraphs sharing one edge."""
-        load: dict[tuple[int, int], int] = {}
-        for i in range(self.num_parts):
-            for e in self.augmented_edges(i):
-                load[e] = load.get(e, 0) + 1
-        return max(load.values(), default=0)
+        load = self._edge_load_array()
+        return max(load, default=0)
 
     def edge_loads(self) -> dict[tuple[int, int], int]:
         """Return the full per-edge load map (edges with zero load omitted)."""
-        load: dict[tuple[int, int], int] = {}
-        for i in range(self.num_parts):
-            for e in self.augmented_edges(i):
-                load[e] = load.get(e, 0) + 1
-        return load
+        edge_list = self._csr.edge_list
+        return {edge_list[e]: c for e, c in enumerate(self._edge_load_array()) if c}
 
     def part_dilation(self, index: int, *, exact: bool = True, rng: RandomLike = None,
                       sample_size: int = 4) -> float:
@@ -182,27 +272,30 @@ class Shortcut:
         part = self.partition.part(index)
         if len(part) <= 1:
             return 0.0
-        adj = self.augmented_adjacency(index)
-        view = _AdjacencyView(adj)
+        edge_list = self._csr.edge_list
+        view = LocalSubgraphCSR(
+            (edge_list[e] for e in self.augmented_edge_ids(index)), part
+        )
         if exact:
             sources = list(part)
         else:
-            r = rng if isinstance(rng, random.Random) else random.Random(rng)
+            r = ensure_rng(rng)
             sources = [self.partition.leader(index)]
             pool = list(part)
             for _ in range(min(sample_size, len(pool))):
                 sources.append(r.choice(pool))
-        worst = 0.0
-        part_set = set(part)
+        local_of = view.local_of
+        part_locals = [local_of[t] for t in part]
+        worst = 0
         for s in sources:
-            dist = bfs_distances(view, s)
-            for t in part_set:
-                d = dist.get(t)
-                if d is None:
+            dist = view.bfs_distances(s)
+            for t in part_locals:
+                d = dist[t]
+                if d == UNREACHED:
                     return INFINITY
                 if d > worst:
-                    worst = float(d)
-        return worst
+                    worst = d
+        return float(worst)
 
     def dilation(self, *, exact: bool = True, rng: RandomLike = None) -> float:
         """Return the dilation over all parts (see the module docstring)."""
@@ -222,7 +315,7 @@ class Shortcut:
             dilation=self.dilation(exact=exact_dilation, rng=rng),
             num_parts=self.num_parts,
             num_shortcut_edges=self.total_shortcut_edges(),
-            max_part_shortcut_edges=max((len(s) for s in self._subgraphs), default=0),
+            max_part_shortcut_edges=max((len(s) for s in self._subgraph_ids), default=0),
         )
 
     def __repr__(self) -> str:
@@ -230,13 +323,3 @@ class Shortcut:
             f"Shortcut(num_parts={self.num_parts}, "
             f"total_shortcut_edges={self.total_shortcut_edges()})"
         )
-
-
-class _AdjacencyView:
-    """A minimal Graph-like view over an adjacency dict, for BFS reuse."""
-
-    def __init__(self, adj: dict[int, set[int]]) -> None:
-        self._adj = adj
-
-    def neighbors(self, v: int) -> set[int]:
-        return self._adj.get(v, set())

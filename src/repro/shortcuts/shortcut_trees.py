@@ -24,20 +24,26 @@ This module builds these objects explicitly so the experiments (E9) and the
 property-based tests can check the lemma's quantitative statement on real
 samples: it is the reproduction of the paper's "evaluation" of its key
 lemma, in the absence of an experimental section.
+
+Implementation note: auxiliary nodes are encoded internally as dense
+integers (``(layer - 1) * n + v``, root last) and the BFS tree edges are
+classified *once* at construction into always-kept and sampled edges, so
+each of the many per-trial :meth:`ShortcutTree.analyze` calls only flips the
+coins of the sampled edges and runs one frontier BFS over flat arrays.  The
+public API still speaks ``(layer, vertex)`` tuples.
 """
 
 from __future__ import annotations
 
-import math
-import random
+from array import array
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional
 
+from ..graphs.csr import UNREACHED
 from ..graphs.graph import Graph
 from ..graphs.traversal import INFINITY
 from ..params import k_d_value, num_large_parts
-
-RandomLike = Union[random.Random, int, None]
+from ..rng import RandomLike, ensure_rng
 
 #: The auxiliary-graph node representing the BFS root.
 ROOT = (-1, -1)
@@ -92,11 +98,33 @@ class ShortcutTree:
         self.q_set = set(q_set)
         self.ell = ell
         self.num_layers = ell + 2  # layers 1..ell+1 plus the root layer
-        self._adjacency = self._build_auxiliary_adjacency()
-        self.tree_parent = self._bfs_tree_from_root()
+        n = graph.num_vertices
+        self._n = n
+        self._root_id = (ell + 1) * n
+        self._num_aux = self._root_id + 1
+        self._build_tree()
+        self.tree_parent = self._materialize_tree_parent()
 
     # ------------------------------------------------------------------
-    # auxiliary graph
+    # integer encoding
+    # ------------------------------------------------------------------
+    def _nid(self, layer: int, v: int) -> int:
+        return (layer - 1) * self._n + v
+
+    def _decode(self, nid: int) -> AuxNode:
+        if nid == self._root_id:
+            return ROOT
+        layer, v = divmod(nid, self._n)
+        return (layer + 1, v)
+
+    def _layer_of(self, nid: int) -> int:
+        # The root sits at the sentinel layer ell + 2.
+        if nid == self._root_id:
+            return self.ell + 2
+        return nid // self._n + 1
+
+    # ------------------------------------------------------------------
+    # auxiliary graph and its BFS tree
     # ------------------------------------------------------------------
     def layer_nodes(self, layer: int) -> list[AuxNode]:
         """Return the auxiliary nodes of a layer (1-based; ``ell+2`` is the root)."""
@@ -119,44 +147,99 @@ class ShortcutTree:
             return self.q_set
         raise ValueError(f"layer {layer} has no graph vertices")
 
-    def _build_auxiliary_adjacency(self) -> dict[AuxNode, list[AuxNode]]:
-        adj: dict[AuxNode, list[AuxNode]] = {}
+    def _build_tree(self) -> None:
+        """BFS the full auxiliary graph from the root and classify tree edges."""
+        n = self._n
+        num_aux = self._num_aux
+        root = self._root_id
+        adjacency: list[list[int]] = [[] for _ in range(num_aux)]
 
-        def add(a: AuxNode, b: AuxNode) -> None:
-            adj.setdefault(a, []).append(b)
-            adj.setdefault(b, []).append(a)
+        def add(a: int, b: int) -> None:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
 
         # Root to every Q node.
         for q in self.q_set:
-            add(ROOT, (self.ell + 1, q))
+            add(root, self._nid(self.ell + 1, q))
         # Consecutive layers 1..ell -> 2..ell+1.
         for layer in range(1, self.ell + 1):
             upper = layer + 1
             lower_vertices = self._layer_vertex_set(layer)
             upper_vertices = self._layer_vertex_set(upper)
+            lower_base = (layer - 1) * n
+            upper_base = layer * n
             for v in lower_vertices:
                 if v in upper_vertices:
-                    add((layer, v), (upper, v))
+                    add(lower_base + v, upper_base + v)
                 for w in self.graph.neighbors(v):
                     if w in upper_vertices:
-                        add((layer, v), (upper, w))
-        # Make sure isolated path nodes exist in the map.
-        for v in self.path:
-            adj.setdefault((1, v), [])
-        return adj
+                        add(lower_base + v, upper_base + w)
 
-    def _bfs_tree_from_root(self) -> dict[AuxNode, AuxNode]:
-        from collections import deque
+        parent = array("l", [UNREACHED]) * num_aux
+        parent[root] = root
+        frontier = [root]
+        order: list[int] = [root]
+        while frontier:
+            nxt: list[int] = []
+            for u in frontier:
+                for v in adjacency[u]:
+                    if parent[v] == UNREACHED:
+                        parent[v] = u
+                        nxt.append(v)
+            order.extend(nxt)
+            frontier = nxt
+        self._parent_int = parent
+        self._visit_order = order
 
-        parent: dict[AuxNode, AuxNode] = {ROOT: ROOT}
-        queue: deque[AuxNode] = deque([ROOT])
-        while queue:
-            u = queue.popleft()
-            for v in self._adjacency.get(u, []):
-                if v not in parent:
-                    parent[v] = u
-                    queue.append(v)
-        return parent
+        # Classify the tree edges once; per-trial sampling then only touches
+        # the genuinely random ones.
+        always: list[tuple[int, int]] = []
+        sampled: list[tuple[int, int, int, int, int]] = []  # a, b, rep, v_i, v_j
+        ell = self.ell
+        for child in order:
+            b = parent[child]
+            if child == root or b == child:
+                continue
+            lower, upper = child, b
+            lower_layer = self._layer_of(lower)
+            upper_layer = self._layer_of(upper)
+            if lower_layer > upper_layer:
+                lower, upper = upper, lower
+                lower_layer, upper_layer = upper_layer, lower_layer
+            if upper_layer == ell + 2:
+                always.append((child, b))  # root edges
+            elif lower_layer == 1:
+                always.append((child, b))  # E(L1, L2): deterministic (Step 1 analogue)
+            elif lower % self._n == upper % self._n:
+                always.append((child, b))  # self-copy edge
+            else:
+                # Non-self edge (v_i at layer k) -- (v_j at layer k+1): kept
+                # iff (v_i, v_j) was sampled in repetition k-1 (1-based in
+                # the paper; our list is 0-based).
+                sampled.append(
+                    (child, b, lower_layer - 2, lower % self._n, upper % self._n)
+                )
+        self._always_tree_edges = always
+        self._sampled_tree_edges = sampled
+        self._path_edges_int = [
+            (self._nid(1, a), self._nid(1, b)) for a, b in zip(self.path, self.path[1:])
+        ]
+        # Static sampled-tree adjacency (always-kept tree edges plus E(P)),
+        # shared by every analyze() trial: kept sampled edges are appended to
+        # the rows for one BFS and popped right after, so no per-trial
+        # adjacency rebuild is needed.
+        static_adjacency: list[list[int]] = [[] for _ in range(num_aux)]
+        for a, b in always:
+            static_adjacency[a].append(b)
+            static_adjacency[b].append(a)
+        for a, b in self._path_edges_int:
+            static_adjacency[a].append(b)
+            static_adjacency[b].append(a)
+        self._static_adjacency = static_adjacency
+
+    def _materialize_tree_parent(self) -> dict[AuxNode, AuxNode]:
+        parent = self._parent_int
+        return {self._decode(v): self._decode(parent[v]) for v in self._visit_order}
 
     # ------------------------------------------------------------------
     def path_leaves_reach_root(self) -> bool:
@@ -166,19 +249,69 @@ class ShortcutTree:
         (every leaf ``p_i ∈ P`` is connected to the root by an
         ``(ℓ+1)``-length path in the auxiliary graph).
         """
-        return all((1, v) in self.tree_parent for v in self.path)
+        parent = self._parent_int
+        return all(parent[self._nid(1, v)] != UNREACHED for v in self.path)
 
     def tree_edges(self) -> set[tuple[AuxNode, AuxNode]]:
         """Return the BFS tree edges as ``(child, parent)`` pairs (root excluded)."""
+        parent = self._parent_int
         return {
-            (child, parent)
-            for child, parent in self.tree_parent.items()
-            if child != parent
+            (self._decode(v), self._decode(parent[v]))
+            for v in self._visit_order
+            if parent[v] != v
         }
 
     # ------------------------------------------------------------------
     # sampling
     # ------------------------------------------------------------------
+    def _kept_sampled_pairs(
+        self,
+        *,
+        probability: Optional[float],
+        repetition_edges: Optional[list[set[tuple[int, int]]]],
+        rng: RandomLike,
+    ) -> list[tuple[int, int]]:
+        """Flip the coins of the sampled tree edges; return the surviving pairs.
+
+        This is the single home of the keep rule — both the public
+        :meth:`sampled_adjacency` and the hot :meth:`analyze` path go
+        through it.
+        """
+        if (probability is None) == (repetition_edges is None):
+            raise ValueError("provide exactly one of probability / repetition_edges")
+        kept: list[tuple[int, int]] = []
+        if probability is not None:
+            r = ensure_rng(rng)
+            rand = r.random
+            for a, b, _rep, _vi, _vj in self._sampled_tree_edges:
+                if rand() < probability:
+                    kept.append((a, b))
+        else:
+            num_reps = len(repetition_edges)
+            for a, b, rep, vi, vj in self._sampled_tree_edges:
+                if 0 <= rep < num_reps:
+                    rep_set = repetition_edges[rep]
+                    if (vi, vj) in rep_set or (vj, vi) in rep_set:
+                        kept.append((a, b))
+        return kept
+
+    def _sample_kept_edges(
+        self,
+        *,
+        probability: Optional[float],
+        repetition_edges: Optional[list[set[tuple[int, int]]]],
+        rng: RandomLike,
+    ) -> list[tuple[int, int]]:
+        """Return the integer edge list of ``T* ∪ E(P)`` for one sample."""
+        kept = list(self._always_tree_edges)
+        kept.extend(
+            self._kept_sampled_pairs(
+                probability=probability, repetition_edges=repetition_edges, rng=rng
+            )
+        )
+        kept.extend(self._path_edges_int)
+        return kept
+
     def sampled_adjacency(
         self,
         *,
@@ -202,56 +335,15 @@ class ShortcutTree:
         Edges of ``E(L_1, L_2)``, edges at the root and self-copy edges are
         always kept; the path edges ``E(P)`` are added inside layer 1.
         """
-        if (probability is None) == (repetition_edges is None):
-            raise ValueError("provide exactly one of probability / repetition_edges")
-        r = rng if isinstance(rng, random.Random) else random.Random(rng)
-
+        kept = self._sample_kept_edges(
+            probability=probability, repetition_edges=repetition_edges, rng=rng
+        )
         adj: dict[AuxNode, list[AuxNode]] = {}
-
-        def add(a: AuxNode, b: AuxNode) -> None:
-            adj.setdefault(a, []).append(b)
-            adj.setdefault(b, []).append(a)
-
-        for child, parent in self.tree_edges():
-            # Order so that "lower" is the smaller layer (the root has the
-            # sentinel layer -1, treated as the topmost layer ell+2).
-            lower, upper = child, parent
-            lower_layer = lower[0] if lower != ROOT else self.ell + 2
-            upper_layer = upper[0] if upper != ROOT else self.ell + 2
-            if lower_layer > upper_layer:
-                lower, upper = upper, lower
-                lower_layer, upper_layer = upper_layer, lower_layer
-
-            keep: bool
-            if upper_layer == self.ell + 2:
-                keep = True  # root edges
-            elif lower_layer == 1:
-                keep = True  # E(L1, L2) edges are deterministic (Step 1 analogue)
-            elif lower != ROOT and upper != ROOT and lower[1] == upper[1]:
-                keep = True  # self-copy edge
-            else:
-                if probability is not None:
-                    keep = r.random() < probability
-                else:
-                    # Non-self edge (v_i at layer k) -- (v_j at layer k+1):
-                    # kept iff (v_i, v_j) was sampled in repetition k-1
-                    # (1-based in the paper; our list is 0-based).
-                    k = lower_layer
-                    rep_index = k - 2
-                    assert repetition_edges is not None
-                    if rep_index < 0 or rep_index >= len(repetition_edges):
-                        keep = False
-                    else:
-                        keep = (lower[1], upper[1]) in repetition_edges[rep_index] or (
-                            upper[1],
-                            lower[1],
-                        ) in repetition_edges[rep_index]
-            if keep:
-                add(lower, upper)
-
-        # E(P): the path edges inside layer 1.
-        for a, b in zip(self.path, self.path[1:]):
-            add((1, a), (1, b))
+        decode = self._decode
+        for a, b in kept:
+            na, nb = decode(a), decode(b)
+            adj.setdefault(na, []).append(nb)
+            adj.setdefault(nb, []).append(na)
         return adj
 
     # ------------------------------------------------------------------
@@ -279,38 +371,64 @@ class ShortcutTree:
             A :class:`SampledTreeAnalysis` with the measured distances from
             the first path vertex and the corresponding lemma bounds.
         """
-        from collections import deque
-
-        adj = self.sampled_adjacency(
+        added = self._kept_sampled_pairs(
             probability=probability, repetition_edges=repetition_edges, rng=rng
         )
-        source: AuxNode = (1, self.path[0])
-        dist: dict[AuxNode, int] = {source: 0}
-        queue: deque[AuxNode] = deque([source])
-        while queue:
-            u = queue.popleft()
-            for v in adj.get(u, []):
-                if v not in dist:
-                    dist[v] = dist[u] + 1
-                    queue.append(v)
+        adjacency = self._static_adjacency
+        for a, b in added:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        try:
+            return self._analyze_current(diameter_value, constant_c)
+        finally:
+            for a, b in reversed(added):
+                adjacency[a].pop()
+                adjacency[b].pop()
 
-        end_node: AuxNode = (1, self.path[-1])
-        distance_to_end = float(dist.get(end_node, INFINITY))
+    def _analyze_current(self, diameter_value: Optional[int], constant_c: float) -> SampledTreeAnalysis:
+        """Measure the lemma distances on the currently overlaid adjacency."""
+        adjacency = self._static_adjacency
+        num_aux = self._num_aux
+        source = self._nid(1, self.path[0])
+        dist = array("l", [UNREACHED]) * num_aux
+        dist[source] = 0
+        frontier = [source]
+        depth = 0
+        # Per-layer minima are folded into the BFS itself: the first time a
+        # layer is touched, the current depth is its minimum distance.
+        n = self._n
+        ell = self.ell
+        first_touch: dict[int, int] = {1: 0}
+        while frontier:
+            depth += 1
+            nxt: list[int] = []
+            for u in frontier:
+                for v in adjacency[u]:
+                    if dist[v] == UNREACHED:
+                        dist[v] = depth
+                        nxt.append(v)
+                        if v == self._root_id:
+                            layer = ell + 2
+                        else:
+                            layer = v // n + 1
+                        if layer not in first_touch:
+                            first_touch[layer] = depth
+            frontier = nxt
 
-        distance_to_layer: dict[int, float] = {}
-        for k in range(2, self.ell + 2):
-            best = INFINITY
-            for node in self.layer_nodes(k):
-                d = dist.get(node)
-                if d is not None and d < best:
-                    best = float(d)
-            distance_to_layer[k] = best
+        end_node = self._nid(1, self.path[-1])
+        d_end = dist[end_node]
+        distance_to_end = float(d_end) if d_end != UNREACHED else INFINITY
 
-        n = self.graph.num_vertices
+        distance_to_layer: dict[int, float] = {
+            k: float(first_touch[k]) if k in first_touch else INFINITY
+            for k in range(2, ell + 2)
+        }
+
+        n_graph = self.graph.num_vertices
         if diameter_value is None:
             diameter_value = max(2, 2 * self.ell)
-        k_d = k_d_value(n, diameter_value)
-        n_large = num_large_parts(n, diameter_value)
+        k_d = k_d_value(n_graph, diameter_value)
+        n_large = num_large_parts(n_graph, diameter_value)
         ratio = max(n_large / (constant_c * k_d), 1.0)
         lemma_bound = {k: ratio ** (k - 2) for k in range(2, self.ell + 2)}
 

@@ -153,12 +153,16 @@ class TestConstructionStructure:
             assert r1.shortcut.subgraph_edges(i) == r2.shortcut.subgraph_edges(i)
 
     def test_different_seeds_differ(self, lb_setup):
+        # log_factor low enough that the sampling stays clearly below
+        # saturation (at 0.3 the union over D repetitions and both edge
+        # directions covers every edge w.h.p., making the sets equal for
+        # almost every seed pair).
         inst, partition = lb_setup
         r1 = build_kogan_parter_shortcut(
-            inst.graph, partition, diameter_value=6, rng=1, log_factor=0.3
+            inst.graph, partition, diameter_value=6, rng=1, log_factor=0.1
         )
         r2 = build_kogan_parter_shortcut(
-            inst.graph, partition, diameter_value=6, rng=2, log_factor=0.3
+            inst.graph, partition, diameter_value=6, rng=2, log_factor=0.1
         )
         different = any(
             r1.shortcut.subgraph_edges(i) != r2.shortcut.subgraph_edges(i)
