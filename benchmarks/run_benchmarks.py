@@ -1,19 +1,30 @@
 #!/usr/bin/env python
 """Standalone benchmark runner: track the perf trajectory PR-over-PR.
 
-Runs the same workloads the ``benchmarks/test_bench_*`` suite times (plus a
-raw CONGEST-engine flood that isolates the simulator hot loop) without any
-pytest machinery, and writes a ``BENCH_<date>.json`` with wall time, rounds
-and message counts per workload.  Committing one such file per perf-relevant
-PR gives a queryable history of the hot-path speed.
+Runs the same workloads the ``benchmarks/test_bench_*`` suite times (plus
+raw CONGEST-engine scenarios that isolate the simulator hot loop) without
+any pytest machinery, and writes a ``BENCH_<date>_<rev>.json`` with wall
+time, rounds and message counts per workload.  Committing one such file per
+perf-relevant PR gives a queryable history of the hot-path speed.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--out BENCH.json]
-        [--baseline OLD.json] [--repeat N]
+        [--baseline OLD.json] [--repeat N] [--quick]
+        [--check-latest] [--max-regression X]
 
 With ``--baseline`` the report also contains per-workload speedup factors
-relative to the older file (``old_wall_s / wall_s``).
+relative to the older file (``old_wall_s / wall_s``).  ``--quick`` runs only
+the four classic (small) workloads — the CI perf-smoke job uses it together
+with ``--check-latest``, which compares against the newest committed
+``BENCH_*.json`` and exits non-zero when any shared workload regressed by
+more than ``--max-regression`` (a tolerant 2x by default, so CI noise does
+not flake the build).
+
+Workloads whose interesting cost is the engine loop (``congest_*``,
+``grid_bfs_10k``, ...) construct their graph and network outside the timed
+region and report a self-measured ``wall_s``; end-to-end experiment
+workloads are timed whole.
 """
 
 from __future__ import annotations
@@ -37,9 +48,15 @@ from repro.analysis.experiments import (  # noqa: E402
 )
 from repro.congest.network import Network  # noqa: E402
 from repro.congest.primitives.bfs import DistributedBFS  # noqa: E402
+from repro.congest.primitives.leader import FloodMax  # noqa: E402
+from repro.congest.scheduler import RandomDelayScheduler, draw_random_delays  # noqa: E402
+from repro.graphs.generators import grid_graph, random_connected_graph  # noqa: E402
 from repro.graphs.lower_bound import lower_bound_instance  # noqa: E402
 
 
+# ----------------------------------------------------------------------
+# classic tier (same definitions across BENCH history)
+# ----------------------------------------------------------------------
 def _bench_congestion() -> dict:
     table = run_congestion_experiment(
         sizes=(200, 400, 800), diameter_value=6, kind="lower_bound",
@@ -62,59 +79,244 @@ def _bench_distributed() -> dict:
 
 
 def _bench_congest_flood() -> dict:
-    """Raw engine benchmark: a full-graph BFS flood on a lower-bound instance."""
+    """Raw engine benchmark: a full-graph BFS flood on a lower-bound instance.
+
+    Isolates the simulator hot loop: the instance and network are built
+    outside the timed region (instance generation is a separate, graph-layer
+    concern tracked by the E2/E9 workloads).
+    """
     inst = lower_bound_instance(600, 6)
     network = Network(inst.graph)
-    metrics = network.run(DistributedBFS({0}))
-    return {"rounds": metrics.rounds, "messages": metrics.messages_delivered}
+    algorithm = DistributedBFS({0})
+    start = time.perf_counter()
+    metrics = network.run(algorithm)
+    wall = time.perf_counter() - start
+    return {"wall_s": wall, "rounds": metrics.rounds, "messages": metrics.messages_delivered}
 
 
-WORKLOADS: dict[str, Callable[[], dict]] = {
+# ----------------------------------------------------------------------
+# 10k-node tier: scales the active-set engine cannot be measured at with
+# the classic workloads (the pre-active-set engine paid O(n + links) per
+# round, making these sizes impractically slow to iterate on)
+# ----------------------------------------------------------------------
+def _bench_flood_10k() -> dict:
+    """Full BFS flood over a ~10k-node lower-bound instance."""
+    inst = lower_bound_instance(10_000, 6)
+    network = Network(inst.graph)
+    algorithm = DistributedBFS({0})
+    start = time.perf_counter()
+    metrics = network.run(algorithm)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "n": inst.graph.num_vertices,
+        "rounds": metrics.rounds,
+        "messages": metrics.messages_delivered,
+    }
+
+
+def _bench_grid_bfs_10k() -> dict:
+    """BFS on a 100x100 grid: 198 rounds, frontier-sized active sets.
+
+    The extreme O(touched)-vs-O(n) case: most rounds touch only the BFS
+    frontier, which the legacy engine scanned all 10k nodes to find.
+    """
+    g = grid_graph(100, 100)
+    network = Network(g)
+    algorithm = DistributedBFS({0})
+    start = time.perf_counter()
+    metrics = network.run(algorithm)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "n": g.num_vertices,
+        "rounds": metrics.rounds,
+        "messages": metrics.messages_delivered,
+    }
+
+
+def _bench_leader_10k() -> dict:
+    """FloodMax leader election on a sparse random 10k-node graph."""
+    g = random_connected_graph(10_000, extra_edge_prob=0.0002, rng=101)
+    network = Network(g)
+    algorithm = FloodMax()
+    start = time.perf_counter()
+    metrics = network.run(algorithm)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "n": g.num_vertices,
+        "rounds": metrics.rounds,
+        "messages": metrics.messages_delivered,
+    }
+
+
+def _bench_scheduler_10k() -> dict:
+    """E5-style concurrent-BFS scenario at 10k nodes.
+
+    Eight truncated BFS instances grown simultaneously under the
+    random-delay scheduler on a 10k-node lower-bound instance — the
+    round-dominant stage of the distributed construction, at a scale the
+    per-round O(n) engine could not reach.
+    """
+    inst = lower_bound_instance(10_000, 6)
+    network = Network(inst.graph)
+    num = 8
+    algos = [
+        DistributedBFS({137 * i}, max_depth=40, prefix=f"s{i}_", algorithm_id=i)
+        for i in range(num)
+    ]
+    delays = draw_random_delays(num, 24, rng=7)
+    scheduler = RandomDelayScheduler(algos, delays)
+    start = time.perf_counter()
+    metrics = network.run(scheduler)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "n": inst.graph.num_vertices,
+        "rounds": metrics.rounds,
+        "messages": metrics.messages_delivered,
+        "max_link_backlog": metrics.max_link_backlog,
+    }
+
+
+CLASSIC_WORKLOADS: dict[str, Callable[[], dict]] = {
     "congestion_E2": _bench_congestion,
     "shortcut_trees_E9": _bench_shortcut_trees,
     "distributed_E5": _bench_distributed,
     "congest_flood": _bench_congest_flood,
 }
 
+SCALE_WORKLOADS: dict[str, Callable[[], dict]] = {
+    "flood_10k": _bench_flood_10k,
+    "grid_bfs_10k": _bench_grid_bfs_10k,
+    "leader_10k": _bench_leader_10k,
+    "scheduler_10k": _bench_scheduler_10k,
+}
+
 
 def _git_rev() -> Optional[str]:
+    """The working tree's revision, with a ``-dirty`` suffix when it differs
+    from HEAD (the seed of this file recorded a clean hash for a dirty tree,
+    which made ``git_rev`` and ``baseline_rev`` indistinguishable)."""
     try:
         out = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
             capture_output=True, text=True, check=True,
         )
-        return out.stdout.strip()
+        rev = out.stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        )
+        if status.stdout.strip():
+            rev += "-dirty"
+        return rev
     except Exception:
         return None
 
 
-def run_benchmarks(repeat: int = 1) -> dict:
-    """Run every workload ``repeat`` times and keep the best wall time."""
-    results: dict[str, dict] = {}
-    for name, fn in WORKLOADS.items():
-        best = float("inf")
-        extra: dict = {}
-        for _ in range(repeat):
+def run_benchmarks(repeat: int = 1, quick: bool = False) -> dict:
+    """Run every workload ``repeat`` times and keep the best wall time.
+
+    Workloads may return their own ``wall_s`` (measured around just the
+    interesting region); otherwise the full call is timed.  Repeats are
+    interleaved (one pass over all workloads per repetition) rather than
+    run back-to-back, so every workload samples several time windows and
+    transient machine noise is less likely to poison any single best-of.
+    """
+    workloads = dict(CLASSIC_WORKLOADS)
+    if not quick:
+        workloads.update(SCALE_WORKLOADS)
+    best: dict[str, float] = {name: float("inf") for name in workloads}
+    extras: dict[str, dict] = {name: {} for name in workloads}
+    for _ in range(repeat):
+        for name, fn in workloads.items():
             start = time.perf_counter()
             extra = fn()
-            best = min(best, time.perf_counter() - start)
-        results[name] = {"wall_s": round(best, 4), **extra}
-        print(f"{name:24s} {best:8.3f}s  {extra}")
+            elapsed = extra.pop("wall_s", None)
+            if elapsed is None:
+                elapsed = time.perf_counter() - start
+            if elapsed < best[name]:
+                best[name] = elapsed
+            extras[name] = extra
+    results: dict[str, dict] = {}
+    for name in workloads:
+        results[name] = {"wall_s": round(best[name], 4), **extras[name]}
+        print(f"{name:24s} {best[name]:8.3f}s  {extras[name]}")
     return results
+
+
+def _latest_committed_bench() -> Optional[Path]:
+    """The most recently *committed* BENCH file.
+
+    Candidates come from ``git ls-files`` so uncommitted local runs (the
+    default output path writes into the repo root) can never become the
+    regression baseline, and recency is the file's last commit time — a
+    lexicographic sort would order same-day files by arbitrary rev hash.
+    Falls back to a name sort over the on-disk files outside a git checkout.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "BENCH_*.json"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        )
+        candidates = [REPO_ROOT / name for name in out.stdout.split()]
+        if not candidates:
+            return None
+
+        def commit_time(path: Path) -> int:
+            log = subprocess.run(
+                ["git", "log", "-1", "--format=%ct", "--", str(path)],
+                cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+            )
+            return int(log.stdout.strip() or 0)
+
+        return max(candidates, key=lambda p: (commit_time(p), p.name))
+    except Exception:
+        candidates = sorted(REPO_ROOT.glob("BENCH_*.json"))
+        return candidates[-1] if candidates else None
+
+
+def _check_regression(results: dict, baseline: dict, max_regression: float) -> list[str]:
+    """Return failure messages for workloads slower than ``max_regression``x."""
+    failures = []
+    for name, entry in results.items():
+        old = baseline.get("workloads", {}).get(name)
+        if not old or not old.get("wall_s"):
+            continue
+        ratio = entry["wall_s"] / old["wall_s"]
+        if ratio > max_regression:
+            failures.append(
+                f"{name}: {entry['wall_s']:.4f}s vs baseline {old['wall_s']:.4f}s "
+                f"({ratio:.2f}x > {max_regression}x allowed)"
+            )
+    return failures
 
 
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default=None, help="output JSON path (default BENCH_<date>.json)")
-    parser.add_argument("--baseline", default=None, help="older BENCH json to compute speedups against")
-    parser.add_argument("--repeat", type=int, default=1, help="repetitions per workload (best-of)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default BENCH_<date>_<rev>.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="older BENCH json to compute speedups against")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="repetitions per workload (best-of)")
+    parser.add_argument("--quick", action="store_true",
+                        help="run only the classic small workloads (CI smoke)")
+    parser.add_argument("--check-latest", action="store_true",
+                        help="compare against the newest committed BENCH_*.json "
+                             "and fail on regression")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="allowed slowdown factor for --check-latest (default 2.0)")
     args = parser.parse_args(argv)
 
-    results = run_benchmarks(repeat=args.repeat)
+    results = run_benchmarks(repeat=args.repeat, quick=args.quick)
     report = {
         "date": datetime.date.today().isoformat(),
         "git_rev": _git_rev(),
         "python": sys.version.split()[0],
+        "repeat": args.repeat,
         "workloads": results,
     }
     if args.baseline:
@@ -125,6 +327,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             if old and entry["wall_s"] > 0:
                 speedups[name] = round(old["wall_s"] / entry["wall_s"], 2)
         report["baseline_rev"] = baseline.get("git_rev")
+        report["baseline_date"] = baseline.get("date")
         report["baseline_wall_s"] = {
             name: baseline["workloads"][name]["wall_s"]
             for name in results if name in baseline.get("workloads", {})
@@ -132,10 +335,31 @@ def main(argv: Optional[list[str]] = None) -> int:
         report["speedup_vs_baseline"] = speedups
         print("speedups vs baseline:", speedups)
 
-    out = Path(args.out) if args.out else REPO_ROOT / f"BENCH_{report['date']}.json"
+    exit_code = 0
+    if args.check_latest:
+        latest = _latest_committed_bench()
+        if latest is None:
+            print("no committed BENCH_*.json found; skipping regression check")
+        else:
+            baseline = json.loads(latest.read_text())
+            failures = _check_regression(results, baseline, args.max_regression)
+            if failures:
+                print(f"PERF REGRESSION vs {latest.name}:")
+                for f in failures:
+                    print("  " + f)
+                exit_code = 1
+            else:
+                print(f"perf-smoke ok vs {latest.name} "
+                      f"(threshold {args.max_regression}x)")
+
+    if args.out:
+        out = Path(args.out)
+    else:
+        rev = report["git_rev"] or "unknown"
+        out = REPO_ROOT / f"BENCH_{report['date']}_{rev}.json"
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -6,6 +6,34 @@ round.  The same instance is shared by all nodes (it must therefore be
 stateless with respect to individual nodes — all per-node state lives in
 ``NodeContext.state``), which mirrors the "every processor runs the same
 code" convention of the CONGEST model.
+
+Timer protocol (optional)
+-------------------------
+The active-set engine runs a node's ``on_round`` whenever the node is awake
+or received a message.  Some algorithms would keep every node awake merely
+to count rounds toward globally known deadlines — the random-delay scheduler
+must start sub-algorithm ``i`` at the shared delay round ``d_i`` on every
+node.  Instead of ticking ``n`` no-op handlers per waiting round, such an
+algorithm declares its deadlines up front:
+
+``wake_at_rounds``
+    A sorted tuple of global round numbers (relative to the start of the
+    ``run``) at which *every* node must execute ``on_round``, even if halted
+    and without traffic.  Nodes may then halt while waiting; the engine
+    revives the whole network exactly at each listed round.
+
+When an algorithm declares timers, the engine maintains
+``algorithm.current_round`` (the round number of the ``on_round`` calls
+being dispatched; ``None`` outside timer-enabled runs), so per-node round
+counters become unnecessary.  Rounds in which no node is awake, no message
+is in flight and no timer is due are *charged without being executed* —
+the measured round count is identical to executing them one by one, but a
+delay tail costs O(1) instead of O(n x rounds).
+
+Timers are honoured for the top-level algorithm of a ``run`` only;
+:class:`ComposedAlgorithm` therefore rejects stages that declare them
+(stage-local deadlines would be offset by the rounds earlier stages
+consumed).
 """
 
 from __future__ import annotations
@@ -29,6 +57,30 @@ class DistributedAlgorithm(ABC):
 
     #: Short name used in message tags and metrics reports.
     name: str = "algorithm"
+
+    #: Declares that every node sends at most one message per directed link
+    #: per round (true for any algorithm using a single ``algorithm_id``,
+    #: where the per-round duplicate-send guard enforces it).  The engine
+    #: uses this to route messages through the express delivery lane —
+    #: link queues are provably pass-through, so sends land directly in the
+    #: receiver's next-round inbox.  Leave ``False`` when nodes multiplex
+    #: several algorithm ids over one link (e.g. under the random-delay
+    #: scheduler), which needs the metered ring-buffer path.
+    single_channel: bool = False
+
+    #: Timer protocol (see the module docstring): global round numbers at
+    #: which every node must run ``on_round`` even while halted.  Algorithms
+    #: whose nodes wait out globally known deadlines (the random-delay
+    #: scheduler) declare them here so waiting nodes can halt instead of
+    #: ticking per-round counters.
+    wake_at_rounds: tuple = ()
+
+    #: Maintained by the engine during a timer-enabled run: the global round
+    #: number of the ``on_round`` calls currently being dispatched (0 during
+    #: ``initialize``).  ``None`` when the executing engine does not honour
+    #: ``wake_at_rounds``, in which case the algorithm must keep its own
+    #: per-node round counters.
+    current_round: Optional[int] = None
 
     @abstractmethod
     def initialize(self, node: NodeContext) -> None:
@@ -68,7 +120,19 @@ class ComposedAlgorithm(DistributedAlgorithm):
     def __init__(self, stages: list[DistributedAlgorithm]) -> None:
         if not stages:
             raise ValueError("ComposedAlgorithm needs at least one stage")
+        for stage in stages:
+            if getattr(stage, "wake_at_rounds", ()):
+                raise ValueError(
+                    "ComposedAlgorithm cannot contain timer-declaring stages: "
+                    f"{stage.name!r} declares wake_at_rounds, which the engine "
+                    "honours for the top-level algorithm only"
+                )
         self.stages = stages
+        # Stages run one at a time (with global quiescence between them), so
+        # the composition is single-channel exactly when every stage is.
+        self.single_channel = all(
+            getattr(stage, "single_channel", False) for stage in stages
+        )
 
     def initialize(self, node: NodeContext) -> None:
         node.state["__stage"] = 0

@@ -4,10 +4,11 @@ The :class:`Network` wraps a :class:`~repro.graphs.graph.Graph` and executes
 a :class:`~repro.congest.algorithm.DistributedAlgorithm` in synchronous
 rounds:
 
-1. every directed link delivers up to ``bandwidth`` queued messages;
-2. every node that is active (not halted, or just received a message) runs
-   its ``on_round`` handler;
-3. the messages the handlers produced are enqueued on their links for
+1. every directed link with pending traffic delivers up to ``bandwidth``
+   queued messages;
+2. every *touched* node — awake (not halted), or a receiver of a message
+   this round — runs its ``on_round`` handler;
+3. the messages the handlers produce are enqueued on their links for
    delivery in the next round.
 
 Messages beyond a link's per-round bandwidth are *queued*, so an algorithm
@@ -17,29 +18,58 @@ talk about: total rounds to quiescence, total messages, the maximum backlog
 observed on any link (a per-link congestion proxy) and per-edge message
 counts.
 
-Batched delivery engine
+Active-set round engine
 -----------------------
-Links are indexed by dense *directed link ids* derived from the graph's CSR
-snapshot: the undirected edge with id ``e`` (canonical ``(u, v)``, ``u < v``)
-owns link ``2e`` for the ``u -> v`` direction and ``2e + 1`` for ``v -> u``.
-Per-link queues are flat ring-buffered lists drained ``bandwidth`` at a time,
-per-edge message counters live in one ``array('l')`` indexed by edge id
-(exposed through the lazily materialized
-:attr:`RunMetrics.per_edge_messages` dict property), and each round only
-visits the links that actually have pending traffic (an active-link
-worklist) instead of scanning every directed link.
+A round costs O(nodes-and-links-actually-touched), not O(n + links):
+
+* **Awake-node worklist.**  ``NodeContext.halt`` / ``wake`` incrementally
+  maintain the set of non-halted nodes, so the engine never scans all ``n``
+  nodes per round — it runs exactly ``awake ∪ receivers`` (in ascending node
+  id order, matching the legacy full-scan order).  Quiescence becomes an
+  O(1) check: no active link and an empty awake set.
+* **Active-link worklist.**  Links are indexed by dense *directed link ids*
+  derived from the graph's CSR snapshot: the undirected edge with id ``e``
+  (canonical ``(u, v)``, ``u < v``) owns link ``2e`` for ``u -> v`` and
+  ``2e + 1`` for ``v -> u``.  Per-link queues are flat ring-buffered lists
+  drained ``bandwidth`` at a time; only links with pending traffic are
+  visited.
+* **Zero-allocation message fast path.**  Each wired ``NodeContext`` holds a
+  precomputed ``neighbor -> directed link id`` table, so ``send`` enqueues
+  directly onto the target ring buffer — there is no per-round outbox
+  collection pass and no ``(sender, receiver)`` tuple-keyed link dict.
+  Per-receiver inbox lists are pooled and reused across rounds, and
+  per-edge message counters live in one flat list indexed by edge id
+  (exposed through the cached :attr:`RunMetrics.per_edge_messages` dict
+  property and the :meth:`RunMetrics.top_k_edges` helper).
+* **Express delivery lane.**  An algorithm declaring ``single_channel``
+  sends at most one message per directed link per round (its duplicate-send
+  guard proves it), so link queues are pass-through: sends land directly in
+  the receiver's next-round inbox and the round flip is O(receivers) with
+  no per-link delivery pass at all.  Multi-channel runs (the random-delay
+  scheduler) keep the metered ring path.
+* **Timer protocol.**  An algorithm declaring ``wake_at_rounds`` (globally
+  known deadlines, e.g. the scheduler's delay start rounds) lets waiting
+  nodes halt instead of ticking no-op handlers: the engine revives every
+  node exactly at the declared rounds and charges silent stretches between
+  them without executing them, keeping the measured round count identical.
 """
 
 from __future__ import annotations
 
-from array import array
+import heapq
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..graphs.graph import Graph
 from .algorithm import ComposedAlgorithm, DistributedAlgorithm
-from .message import BandwidthExceededError, Message
+from .message import Message
 from .node import NodeContext
+
+#: Shared empty inbox passed to awake nodes with no incoming messages.
+#: Handlers receive it read-only by contract (no algorithm mutates its
+#: ``messages`` argument); sharing it avoids one list allocation per awake
+#: node per round.
+_NO_MESSAGES: list[Message] = []
 
 
 class RoundLimitExceeded(RuntimeError):
@@ -64,20 +94,27 @@ class RunMetrics:
     messages_delivered: int = 0
     max_link_backlog: int = 0
     terminated: bool = False
-    _edge_counts: Optional[array] = field(default=None, repr=False, compare=False)
+    _edge_counts: Optional[list] = field(default=None, repr=False, compare=False)
     _edge_list: Optional[list] = field(default=None, repr=False, compare=False)
+    _per_edge_cache: Optional[dict] = field(default=None, repr=False, compare=False)
 
     @property
     def per_edge_messages(self) -> dict[tuple[int, int], int]:
         """Messages that crossed each undirected edge (both directions summed).
 
-        Keyed by canonical edge tuple and materialized lazily from the flat
-        edge-id counter array; edges that carried no message are omitted.
+        Keyed by canonical edge tuple; edges that carried no message are
+        omitted.  The dict is materialized from the flat edge-id counter
+        array on first access and cached (runs are finished by the time
+        their metrics are read, so the counters no longer change).
         """
-        if self._edge_counts is None or self._edge_list is None:
-            return {}
-        edge_list = self._edge_list
-        return {edge_list[e]: c for e, c in enumerate(self._edge_counts) if c}
+        cached = self._per_edge_cache
+        if cached is None:
+            if self._edge_counts is None or self._edge_list is None:
+                return {}
+            edge_list = self._edge_list
+            cached = {edge_list[e]: c for e, c in enumerate(self._edge_counts) if c}
+            self._per_edge_cache = cached
+        return cached
 
     @property
     def max_edge_messages(self) -> int:
@@ -85,6 +122,23 @@ class RunMetrics:
         if self._edge_counts is None or not self._edge_counts:
             return 0
         return max(self._edge_counts)
+
+    def top_k_edges(self, k: int) -> list[tuple[tuple[int, int], int]]:
+        """The ``k`` busiest undirected edges as ``((u, v), count)`` pairs.
+
+        Sorted by message count descending, ties broken by ascending edge
+        id; edges that carried no message never appear.  Runs a heap
+        selection over the flat counter array, so the full per-edge dict is
+        never materialized — use this instead of
+        :attr:`per_edge_messages` when only the hottest edges matter.
+        """
+        if k <= 0 or self._edge_counts is None or self._edge_list is None:
+            return []
+        top = heapq.nlargest(
+            k, ((c, -e) for e, c in enumerate(self._edge_counts) if c)
+        )
+        edge_list = self._edge_list
+        return [(edge_list[-ne], c) for c, ne in top]
 
 
 class Network:
@@ -98,7 +152,9 @@ class Network:
             effects).
         strict_bandwidth: if ``True``, overloading a link raises
             :class:`~repro.congest.message.BandwidthExceededError` instead of
-            queueing.
+            queueing (the error surfaces from the offending ``send``, i.e.
+            mid-round, with the other queues in whatever partially drained
+            state the round reached).
     """
 
     def __init__(self, graph: Graph, *, bandwidth: int = 1, strict_bandwidth: bool = False) -> None:
@@ -107,35 +163,107 @@ class Network:
         self.graph = graph
         self.bandwidth = bandwidth
         self.strict_bandwidth = strict_bandwidth
-        self.nodes: dict[int, NodeContext] = {}
+        self._wiring_csr = None
+        self._ran = False
+        self._structures_clean = True
         self.reset()
+
+    @property
+    def nodes(self) -> dict[int, NodeContext]:
+        """Map of node id -> :class:`NodeContext` (built lazily per reset)."""
+        cache = self._nodes_cache
+        if cache is None:
+            cache = self._nodes_cache = dict(enumerate(self._node_list))
+        return cache
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
-        """Reset all node state and link queues (a fresh network)."""
-        self.nodes = {
-            v: NodeContext(node_id=v, neighbors=tuple(sorted(self.graph.neighbors(v))))
-            for v in self.graph.vertices()
-        }
+        """Reset all node state and link queues (a fresh network).
+
+        Cheap when possible: when the topology is unchanged and the last run
+        drained cleanly (or nothing ran at all), only the node state and
+        per-link maxima need clearing — the link queues, head cursors and
+        inboxes are empty by invariant.  State mutated from outside a run
+        (``node(v).state[...] = ...``, ``node(v).halt()``) is wiped either
+        way, as "a fresh network" promises.
+        """
         csr = self.graph.csr()
+        if self._wiring_csr is csr:
+            if self._structures_clean and not self._active and not self._pending_receivers:
+                self._link_max_backlog[:] = self._zero_links
+                awake = self._awake
+                awake.clear()
+                awake.update(range(csr.num_vertices))
+                for ctx in self._node_list:
+                    ctx.state = {}
+                    ctx.halted = False
+                    ctx._payload_ok = None
+                self._ran = False
+                return
+        self._full_reset(csr)
+
+    def _full_reset(self, csr) -> None:
         self._csr = csr
+        n = csr.num_vertices
         num_links = 2 * csr.num_edges
-        # Directed link 2e carries lo -> hi of canonical edge e; 2e + 1 the
-        # reverse.  _link_of resolves a (sender, receiver) pair to its id.
-        link_of: dict[tuple[int, int], int] = {}
-        receiver_of = array("l", [0]) * num_links
-        for eid, (u, v) in enumerate(csr.edge_list):
-            link_of[(u, v)] = 2 * eid
-            link_of[(v, u)] = 2 * eid + 1
-            receiver_of[2 * eid] = v
-            receiver_of[2 * eid + 1] = u
-        self._link_of = link_of
-        self._receiver_of = receiver_of
+        if self._wiring_csr is not csr:
+            # Directed link 2e carries lo -> hi of canonical edge e; 2e + 1
+            # the reverse.  Each node gets its own neighbor -> out-link table
+            # so a send resolves its link with one int-keyed dict lookup.
+            # The tables only depend on the CSR snapshot, so they are built
+            # once and shared by every reset of the same topology.  Hot
+            # per-link tables are plain lists: unlike array('l') they hand
+            # back cached small ints instead of boxing on every read.
+            receiver_of = [0] * num_links
+            out_links: list[dict[int, int]] = [{} for _ in range(n)]
+            for eid, (u, v) in enumerate(csr.edge_list):
+                link = eid + eid
+                receiver_of[link] = v
+                receiver_of[link + 1] = u
+                out_links[u][v] = link
+                out_links[v][u] = link + 1
+            self._receiver_of = receiver_of
+            self._out_links = out_links
+            self._neighbor_tuples = [tuple(csr.neighbors(v)) for v in range(n)]
+            self._zero_links: list[int] = [0] * num_links
+            self._wiring_csr = csr
         self._queues: list[list[Message]] = [[] for _ in range(num_links)]
-        self._heads = array("l", [0]) * num_links
-        self._link_max_backlog = array("l", [0]) * num_links
+        self._heads: list[int] = [0] * num_links
+        self._link_max_backlog: list[int] = [0] * num_links
         self._active: list[int] = []
         self._is_active = bytearray(num_links)
+        # Pooled per-node inboxes, reused across rounds (cleared after use),
+        # plus the express lane's next-round pending lists (swapped with the
+        # inboxes at each flip, so both pools recycle forever).
+        self._inbox_of: list[list[Message]] = [[] for _ in range(n)]
+        self._pending: list[list[Message]] = [[] for _ in range(n)]
+        self._pending_receivers: list[int] = []
+        # Awake-node worklist: every node starts non-halted.  halt()/wake()
+        # keep this set current, so quiescence checks and per-round node
+        # selection never scan the full node table.
+        self._awake: set[int] = set(range(n))
+        strict_limit = self.bandwidth if self.strict_bandwidth else float("inf")
+        out_links = self._out_links
+        neighbor_tuples = self._neighbor_tuples
+        queues, heads = self._queues, self._heads
+        link_max, is_active = self._link_max_backlog, self._is_active
+        active, awake = self._active, self._awake
+        # Positional construction (field order of the NodeContext dataclass):
+        # measurably cheaper than keyword binding at n = 10^4 nodes.
+        self._node_list = [
+            NodeContext(
+                v, neighbor_tuples[v], {}, False, [], set(),
+                out_links[v], queues, heads, link_max, is_active, active,
+                awake, strict_limit, None,
+            )
+            for v in range(n)
+        ]
+        pending_receivers = self._pending_receivers
+        for ctx in self._node_list:
+            ctx._pending_receivers = pending_receivers
+        self._nodes_cache: Optional[dict[int, NodeContext]] = None
+        self._ran = False
+        self._structures_clean = True
 
     def node(self, v: int) -> NodeContext:
         """Return the :class:`NodeContext` of node ``v`` (for inspecting outputs)."""
@@ -163,43 +291,169 @@ class Network:
             raise_on_limit: raise :class:`RoundLimitExceeded` when the limit
                 is hit (otherwise return metrics with ``terminated=False``).
             reset: start from a clean network state (set to ``False`` to run
-                a follow-up algorithm that reads earlier algorithms' state).
+                a follow-up algorithm that reads earlier algorithms' state;
+                nodes left halted by the earlier run stay halted until this
+                algorithm's ``initialize`` wakes them or a message arrives).
 
         Returns:
             The :class:`RunMetrics` of the run.
         """
-        if reset:
+        if reset and self._ran:
             self.reset()
         metrics = RunMetrics()
-        metrics._edge_counts = array("l", [0]) * self._csr.num_edges
+        metrics._edge_counts = [0] * self._csr.num_edges
         metrics._edge_list = self._csr.edge_list
-        for ctx in self.nodes.values():
-            algorithm.initialize(ctx)
-        self._collect_outgoing(metrics)
+        # Sends enqueue without touching a counter; the send total is an
+        # invariant of the queues instead: sent = delivered + backlog growth.
+        backlog_start = self._pending_backlog()
+        self._ran = True
+        self._structures_clean = False
 
+        # Express lane: a single-channel algorithm sends at most one message
+        # per directed link per round (its duplicate-send guard proves it),
+        # so every link queue is pass-through and messages can be placed
+        # straight into the receivers' next-round inboxes — no per-link
+        # delivery pass at all.  Multi-channel algorithms (the random-delay
+        # scheduler) and runs resuming with ring traffic use the ring path.
+        express = bool(getattr(algorithm, "single_channel", False)) and not self._active
+        if not express and self._pending_receivers:
+            self._flush_pending_to_rings()
+
+        nodes = self._node_list
+        pending = self._pending if express else None
+        edge_counts = metrics._edge_counts
+        if express and self._pending_receivers:
+            # Leftover express traffic from a cut-off run delivers during
+            # this run; credit it to this run's per-edge counters (its
+            # send-time counts were retracted when that run stopped).
+            out_links = self._out_links
+            for v in self._pending_receivers:
+                for m in self._pending[v]:
+                    edge_counts[out_links[m.sender][v] >> 1] += 1
+        # Timer protocol (opt-in; see the module docstring of
+        # repro.congest.algorithm): the algorithm declares the global rounds
+        # at which every node must run, so waiting nodes can halt and the
+        # engine both revives the network at exactly those rounds and
+        # charges silent stretches between them without executing them.
+        timers: tuple = getattr(algorithm, "wake_at_rounds", ()) or ()
+        num_timers = len(timers)
+        timer_pos = 0
+        if num_timers:
+            algorithm.current_round = 0
+
+        for ctx in nodes:
+            ctx._express_pending = pending
+            ctx._edge_counts = edge_counts
+            algorithm.initialize(ctx)
+            ctx._sent_this_round.clear()
+
+        composed = isinstance(algorithm, ComposedAlgorithm)
+        awake = self._awake
+        inbox_of = self._inbox_of
+        on_round = algorithm.on_round
+
+        pending_receivers = self._pending_receivers
         while metrics.rounds < max_rounds:
-            if self._is_quiescent():
-                if isinstance(algorithm, ComposedAlgorithm):
-                    advanced = False
-                    for ctx in self.nodes.values():
-                        advanced = algorithm.advance_stage(ctx) or advanced
-                    if advanced:
-                        self._collect_outgoing(metrics)
-                        continue
-                metrics.terminated = True
-                return metrics
+            if not self._active and not pending_receivers and not awake:
+                if timer_pos < num_timers:
+                    # Silent but not quiescent: a timer is still pending.
+                    # Every round before it provably executes nothing, so
+                    # charge the stretch in one step and run the timer round.
+                    jump = timers[timer_pos] - 1
+                    if jump > metrics.rounds:
+                        metrics.rounds = jump if jump < max_rounds else max_rounds
+                        if metrics.rounds >= max_rounds:
+                            continue
+                else:
+                    # Quiescent: no message in flight, every node halted.
+                    if composed:
+                        advanced = False
+                        for ctx in nodes:
+                            if algorithm.advance_stage(ctx):
+                                advanced = True
+                            ctx._sent_this_round.clear()
+                        if advanced:
+                            continue
+                    metrics.terminated = True
+                    metrics.messages_sent = metrics.messages_delivered - backlog_start
+                    self._structures_clean = True
+                    return metrics
 
             metrics.rounds += 1
-            inboxes = self._deliver(metrics)
-            for v, ctx in self.nodes.items():
-                incoming = inboxes.get(v)
-                if incoming:
-                    ctx.wake()
-                    algorithm.on_round(ctx, incoming)
-                elif not ctx.halted:
-                    algorithm.on_round(ctx, [])
-            self._collect_outgoing(metrics)
+            timer_fired = False
+            if timer_pos < num_timers:
+                algorithm.current_round = metrics.rounds
+                if timers[timer_pos] <= metrics.rounds:
+                    timer_fired = True
+                    timer_pos += 1
+                    while timer_pos < num_timers and timers[timer_pos] <= metrics.rounds:
+                        timer_pos += 1
+            elif num_timers:
+                algorithm.current_round = metrics.rounds
+            if express:
+                # Express flip: the pending lists ARE the inboxes; swap them
+                # with the (empty) inbox pool so both recycle with zero
+                # allocation, and account deliveries per receiver.
+                if pending_receivers:
+                    receivers = pending_receivers.copy()
+                    pending_receivers.clear()
+                    delivered = 0
+                    for v in receivers:
+                        plist = pending[v]
+                        delivered += len(plist)
+                        inbox_of[v], pending[v] = plist, inbox_of[v]
+                    metrics.messages_delivered += delivered
+                    if not metrics.max_link_backlog:
+                        metrics.max_link_backlog = 1
+                else:
+                    receivers = ()
+            else:
+                receivers = self._deliver(metrics)
 
+            # The ids to run this round, ascending (matching the legacy
+            # full-scan order): awake nodes plus this round's receivers —
+            # or every node when a timer is due.  sorted() copies, so
+            # handlers are free to halt()/wake().
+            if timer_fired:
+                to_run = range(len(nodes))
+            elif not awake:
+                to_run = sorted(receivers)
+            elif receivers:
+                to_run = sorted(awake.union(receivers))
+            else:
+                to_run = sorted(awake)
+            for v in to_run:
+                ctx = nodes[v]
+                inbox = inbox_of[v]
+                if inbox:
+                    if ctx.halted:
+                        # Engine-level wake with deferred registration: most
+                        # receivers halt again before their handler returns,
+                        # so the awake set is only touched when the node
+                        # actually stays awake (halt()/wake() calls inside
+                        # the handler keep the set consistent on their own).
+                        ctx.halted = False
+                        on_round(ctx, inbox)
+                        if not ctx.halted:
+                            awake.add(v)
+                    else:
+                        on_round(ctx, inbox)
+                    inbox.clear()
+                else:
+                    on_round(ctx, _NO_MESSAGES)
+                ctx._sent_this_round.clear()
+
+        metrics.messages_sent = (
+            metrics.messages_delivered + self._pending_backlog() - backlog_start
+        )
+        if express and pending_receivers:
+            # Count-at-send ran ahead of the legacy count-at-delivery
+            # semantics; retract the messages still awaiting their flip.
+            out_links = self._out_links
+            for v in pending_receivers:
+                for m in self._pending[v]:
+                    edge_counts[out_links[m.sender][v] >> 1] -= 1
+        self._structures_clean = True
         if raise_on_limit:
             raise RoundLimitExceeded(
                 f"algorithm {algorithm.name!r} did not terminate within {max_rounds} rounds"
@@ -210,92 +464,111 @@ class Network:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _deliver(self, metrics: RunMetrics) -> dict[int, list[Message]]:
-        inboxes: dict[int, list[Message]] = {}
+    def _pending_backlog(self) -> int:
+        """Messages queued but undelivered (O(active links + pending nodes))."""
+        queues = self._queues
+        heads = self._heads
+        total = sum(len(queues[link]) - heads[link] for link in self._active)
+        if self._pending_receivers:
+            pending = self._pending
+            total += sum(len(pending[v]) for v in self._pending_receivers)
+        return total
+
+    def _flush_pending_to_rings(self) -> None:
+        """Move leftover express traffic onto the ring buffers.
+
+        Only needed when a run is cut off by ``max_rounds`` with express
+        messages still in flight and a multi-channel algorithm follows with
+        ``reset=False``; the ring path then delivers them in FIFO order.
+        """
+        out_links = self._out_links
+        queues = self._queues
+        heads = self._heads
+        link_max = self._link_max_backlog
+        is_active = self._is_active
         active = self._active
+        pending = self._pending
+        for v in self._pending_receivers:
+            plist = pending[v]
+            for m in plist:
+                link = out_links[m.sender][v]
+                buf = queues[link]
+                buf.append(m)
+                backlog = len(buf) - heads[link]
+                if backlog > 1 and backlog > link_max[link]:
+                    link_max[link] = backlog
+                if not is_active[link]:
+                    is_active[link] = 1
+                    active.append(link)
+            plist.clear()
+        self._pending_receivers.clear()
+
+    def _deliver(self, metrics: RunMetrics) -> list[int]:
+        """Deliver one round of traffic into the pooled inboxes.
+
+        Returns the ids of the nodes that received at least one message.
+        Only links on the active worklist are visited.
+        """
+        active = self._active
+        receivers: list[int] = []
         if not active:
-            return inboxes
+            return receivers
         bandwidth = self.bandwidth
         queues = self._queues
         heads = self._heads
         receiver_of = self._receiver_of
         link_max = self._link_max_backlog
         edge_counts = metrics._edge_counts
+        inbox_of = self._inbox_of
+        is_active = self._is_active
+        max_backlog = metrics.max_link_backlog
         still_active: list[int] = []
         delivered = 0
         for link in active:
             buf = queues[link]
             head = heads[link]
-            take = min(bandwidth, len(buf) - head)
-            batch = buf[head:head + take]
-            head += take
-            if head >= len(buf):
+            size = len(buf)
+            receiver = receiver_of[link]
+            inbox = inbox_of[receiver]
+            if not inbox:
+                receivers.append(receiver)
+            backlog = size - head
+            if backlog <= bandwidth:
+                # Common case: the whole queue fits in one round (with unit
+                # bandwidth this is the only uncongested shape).
+                if backlog == 1:
+                    inbox.append(buf[head])
+                else:
+                    inbox.extend(buf[head:] if head else buf)
+                take = backlog
                 buf.clear()
-                head = 0
-                self._is_active[link] = 0
+                if head:
+                    heads[link] = 0
+                is_active[link] = 0
             else:
-                if head > 64 and head * 2 >= len(buf):
+                take = bandwidth
+                if take == 1:
+                    inbox.append(buf[head])
+                else:
+                    inbox.extend(buf[head:head + take])
+                head += take
+                if head > 64 and head * 2 >= size:
                     del buf[:head]
                     head = 0
+                heads[link] = head
                 still_active.append(link)
-            heads[link] = head
 
-            receiver = receiver_of[link]
-            inbox = inboxes.get(receiver)
-            if inbox is None:
-                inboxes[receiver] = batch
-            else:
-                inbox.extend(batch)
             delivered += take
             edge_counts[link >> 1] += take
-            if link_max[link] > metrics.max_link_backlog:
-                metrics.max_link_backlog = link_max[link]
+            lm = link_max[link]
+            if lm > max_backlog:
+                max_backlog = lm
+        if not max_backlog:
+            # Senders only record backlogs above 1; any delivery implies a
+            # backlog of at least 1 was observed.
+            max_backlog = 1
+        metrics.max_link_backlog = max_backlog
         metrics.messages_delivered += delivered
-        self._active = still_active
-        return inboxes
-
-    def _collect_outgoing(self, metrics: RunMetrics) -> None:
-        link_of = self._link_of
-        queues = self._queues
-        heads = self._heads
-        link_max = self._link_max_backlog
-        is_active = self._is_active
-        active = self._active
-        strict = self.strict_bandwidth
-        bandwidth = self.bandwidth
-        sent = 0
-        for ctx in self.nodes.values():
-            if not ctx._outbox:
-                ctx._sent_this_round.clear()
-                continue
-            for message in ctx._collect_outbox():
-                link = link_of.get((message.sender, message.receiver))
-                if link is None:
-                    raise ValueError(
-                        f"message {message} uses non-existent link "
-                        f"({message.sender}, {message.receiver})"
-                    )
-                buf = queues[link]
-                backlog = len(buf) - heads[link]
-                if strict and backlog >= bandwidth:
-                    raise BandwidthExceededError(
-                        f"link {message.sender}->{message.receiver} exceeded capacity "
-                        f"{bandwidth} per round"
-                    )
-                buf.append(message)
-                backlog += 1
-                if backlog > link_max[link]:
-                    link_max[link] = backlog
-                if not is_active[link]:
-                    is_active[link] = 1
-                    active.append(link)
-                sent += 1
-        metrics.messages_sent += sent
-
-    def _is_quiescent(self) -> bool:
-        # Quiescence is a structural property: no message is in flight and
-        # every node has locally halted.  (Algorithms signal "nothing left to
-        # do" by halting; halted nodes are woken again by incoming messages.)
-        if self._active:
-            return False
-        return all(ctx.halted for ctx in self.nodes.values())
+        # In-place so the wired NodeContexts' cached reference stays valid.
+        active[:] = still_active
+        return receivers

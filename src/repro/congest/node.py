@@ -8,6 +8,23 @@ it exposes the node id, its neighbour list, a local state dictionary and a
 ``send`` method, and deliberately nothing else (in particular no access to
 the global graph), so algorithms written against it are honest CONGEST
 algorithms.
+
+Engine wiring
+-------------
+A context created by :class:`~repro.congest.network.Network` is *wired*: it
+holds direct references to the engine's link arrays plus a precomputed
+``neighbor -> directed link id`` table derived from the graph's CSR
+snapshot, so :meth:`send` resolves the target link with a single int-keyed
+dict lookup and enqueues the message straight onto the link's ring buffer —
+no per-message ``(sender, receiver)`` tuple key, no global link dict, no
+intermediate outbox list, and no neighbour-set rebuild.  :meth:`halt` /
+:meth:`wake` incrementally maintain the engine's awake-node worklist, which
+is what makes a round cost proportional to the nodes actually touched.
+
+A context created standalone (``NodeContext(node_id=..., neighbors=...)``,
+as the unit tests and the legacy reference engine do) has no engine; sends
+then fall back to buffering messages in an outbox that the owner collects
+with ``_collect_outbox``, preserving the seed repository's semantics.
 """
 
 from __future__ import annotations
@@ -15,10 +32,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from .message import Message, check_payload
+from .message import (
+    MAX_PAYLOAD_FIELDS,
+    BandwidthExceededError,
+    Message,
+    check_payload,
+)
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeContext:
     """The local view a node has of itself during a simulation.
 
@@ -36,8 +58,31 @@ class NodeContext:
     halted: bool = False
     _outbox: list[Message] = field(default_factory=list)
     _sent_this_round: set[tuple[int, int]] = field(default_factory=set)
+    # Engine wiring (all None/empty for standalone contexts).  The link
+    # arrays are shared with — and mutated in place by — the owning Network;
+    # keeping direct references here saves two attribute hops per message on
+    # the hottest path in the simulator.
+    _out_link: dict[int, int] = field(default_factory=dict, repr=False, compare=False)
+    _queues: Optional[list] = field(default=None, repr=False, compare=False)
+    _heads: Optional[Any] = field(default=None, repr=False, compare=False)
+    _link_max: Optional[Any] = field(default=None, repr=False, compare=False)
+    _link_is_active: Optional[bytearray] = field(default=None, repr=False, compare=False)
+    _link_active: Optional[list] = field(default=None, repr=False, compare=False)
+    _awake: Optional[set] = field(default=None, repr=False, compare=False)
+    _strict_limit: Any = field(default=None, repr=False, compare=False)
+    # One-slot payload-validation memo: a broadcast/announce passes the same
+    # payload object to every neighbour, so re-validating it per send is
+    # pure overhead.  Holding the reference keeps the identity test sound
+    # (validated payloads are scalars or tuples of scalars — immutable).
+    _payload_ok: Any = field(default=None, repr=False, compare=False)
+    # Express-lane wiring, set by the engine per run for single-channel
+    # algorithms (see Network.run): sends bypass the link ring buffers and
+    # append straight to the receiver's next-round inbox.
+    _express_pending: Optional[list] = field(default=None, repr=False, compare=False)
+    _pending_receivers: Optional[list] = field(default=None, repr=False, compare=False)
+    _edge_counts: Optional[list] = field(default=None, repr=False, compare=False)
 
-    def send(self, neighbor: int, tag: str, payload: Any = None, *, algorithm_id: int = 0) -> None:
+    def send(self, neighbor: int, tag: str, payload: Any = None, algorithm_id: int = 0) -> None:
         """Queue a message to ``neighbor`` for delivery next round.
 
         A node may send at most one message per neighbour per round *per
@@ -48,30 +93,188 @@ class NodeContext:
             ValueError: if ``neighbor`` is not adjacent, the payload is too
                 large, or a second message to the same neighbour is attempted
                 for the same algorithm id in one round.
+            BandwidthExceededError: on a strict-bandwidth network, if the
+                target link already holds a full round's worth of messages.
         """
-        if neighbor not in self._neighbor_set():
-            raise ValueError(f"node {self.node_id} has no neighbor {neighbor}")
-        check_payload(payload)
-        key = (neighbor, algorithm_id)
-        if key in self._sent_this_round:
+        queues = self._queues
+        if queues is None:
+            # Standalone mode (unit tests, the legacy reference engine):
+            # validate against the neighbour set and buffer in the outbox.
+            if neighbor not in self._neighbor_set():
+                raise ValueError(f"node {self.node_id} has no neighbor {neighbor}")
+            check_payload(payload)
+            key = (neighbor, algorithm_id)
+            if key in self._sent_this_round:
+                raise ValueError(
+                    f"node {self.node_id} already sent to {neighbor} for algorithm {algorithm_id} this round"
+                )
+            self._sent_this_round.add(key)
+            self._outbox.append(
+                Message(
+                    sender=self.node_id,
+                    receiver=neighbor,
+                    tag=tag,
+                    payload=payload,
+                    algorithm_id=algorithm_id,
+                )
+            )
+            return
+
+        # Wired fast path: resolve the directed link from the precomputed
+        # per-node table.
+        try:
+            link = self._out_link[neighbor]
+        except KeyError:
+            raise ValueError(f"node {self.node_id} has no neighbor {neighbor}") from None
+        if payload is not None and payload is not self._payload_ok:
+            check_payload(payload)
+            self._payload_ok = payload
+        sent = self._sent_this_round
+        pending = self._express_pending
+        if pending is not None:
+            # Express lane (single-channel run): the one-message-per-link
+            # guard doubles as the bandwidth proof, so the message can skip
+            # the ring buffer and land in the receiver's next-round inbox.
+            if link in sent:
+                raise ValueError(
+                    f"node {self.node_id} already sent to {neighbor} for algorithm {algorithm_id} this round"
+                )
+            sent.add(link)
+            plist = pending[neighbor]
+            if not plist:
+                self._pending_receivers.append(neighbor)
+            plist.append(Message(self.node_id, neighbor, tag, payload, algorithm_id))
+            self._edge_counts[link >> 1] += 1
+            return
+        # Ring path: enqueue onto the link's ring buffer.  Duplicate-send
+        # keys are packed into one int when the algorithm id is small
+        # (always, in practice) so the guard costs no allocation.
+        key = (link << 20) | algorithm_id if 0 <= algorithm_id < 1048576 else (neighbor, algorithm_id)
+        if key in sent:
             raise ValueError(
                 f"node {self.node_id} already sent to {neighbor} for algorithm {algorithm_id} this round"
             )
-        self._sent_this_round.add(key)
-        self._outbox.append(
-            Message(
-                sender=self.node_id,
-                receiver=neighbor,
-                tag=tag,
-                payload=payload,
-                algorithm_id=algorithm_id,
-            )
-        )
+        sent.add(key)
+        buf = queues[link]
+        backlog = len(buf) - self._heads[link]
+        if backlog:
+            # Already-queued traffic: enforce strict capacity and track the
+            # backlog maximum.  A backlog of exactly 1 (the uncongested
+            # norm) is implied by any delivery, so only larger backlogs are
+            # recorded; _deliver floors the reported maximum at 1 once
+            # anything has been delivered.
+            if backlog >= self._strict_limit:
+                raise BandwidthExceededError(
+                    f"link {self.node_id}->{neighbor} exceeded capacity "
+                    f"{self._strict_limit} per round"
+                )
+            backlog += 1
+            link_max = self._link_max
+            if backlog > link_max[link]:
+                link_max[link] = backlog
+        buf.append(Message(self.node_id, neighbor, tag, payload, algorithm_id))
+        if not self._link_is_active[link]:
+            self._link_is_active[link] = 1
+            self._link_active.append(link)
+
+    def multicast(self, targets, tag: str, payload: Any = None, algorithm_id: int = 0) -> None:
+        """Send the same message to every neighbour in ``targets``.
+
+        Semantically identical to calling :meth:`send` once per target (the
+        CONGEST cost is still one message per link), but the engine-wired
+        implementation validates the payload once, allocates a *single*
+        :class:`Message` shared by every target, and enqueues in one pass
+        with the hot locals hoisted — this is the per-message fast path the
+        flooding primitives use.  The shared message's ``receiver`` field is
+        the sentinel ``-1``: delivery routes by directed link id, never by
+        the field, and no algorithm-facing API exposes it for multicasts
+        (the engine reads it only on per-receiver pending lists, where the
+        receiver is the list index).
+        """
+        queues = self._queues
+        if queues is None:
+            for v in targets:
+                self.send(v, tag, payload, algorithm_id)
+            return
+        if not (0 <= algorithm_id < 1048576):
+            for v in targets:
+                self.send(v, tag, payload, algorithm_id)
+            return
+        if payload is not None and payload is not self._payload_ok:
+            # check_payload, inlined: announce payloads are fresh tuples, so
+            # the identity memo rarely hits and the call overhead would land
+            # on every flood step.
+            if type(payload) is tuple:
+                if len(payload) > MAX_PAYLOAD_FIELDS:
+                    raise ValueError(
+                        f"payload tuple has {len(payload)} fields; "
+                        "CONGEST messages must be O(log n) bits"
+                    )
+                for item in payload:
+                    if not (item is None or isinstance(item, (int, float, str, bool))):
+                        raise ValueError(f"payload field {item!r} is not a scalar")
+            elif not isinstance(payload, (int, float, str, bool)):
+                check_payload(payload)
+            self._payload_ok = payload
+        out_link = self._out_link
+        sent = self._sent_this_round
+        pending = self._express_pending
+        node_id = self.node_id
+        message = Message(node_id, -1, tag, payload, algorithm_id)
+        if pending is not None:
+            receivers = self._pending_receivers
+            edge_counts = self._edge_counts
+            for v in targets:
+                try:
+                    link = out_link[v]
+                except KeyError:
+                    raise ValueError(f"node {node_id} has no neighbor {v}") from None
+                if link in sent:
+                    raise ValueError(
+                        f"node {node_id} already sent to {v} for algorithm {algorithm_id} this round"
+                    )
+                sent.add(link)
+                plist = pending[v]
+                if not plist:
+                    receivers.append(v)
+                plist.append(message)
+                edge_counts[link >> 1] += 1
+            return
+        heads = self._heads
+        link_max = self._link_max
+        is_active = self._link_is_active
+        active = self._link_active
+        strict_limit = self._strict_limit
+        for v in targets:
+            try:
+                link = out_link[v]
+            except KeyError:
+                raise ValueError(f"node {node_id} has no neighbor {v}") from None
+            key = (link << 20) | algorithm_id
+            if key in sent:
+                raise ValueError(
+                    f"node {node_id} already sent to {v} for algorithm {algorithm_id} this round"
+                )
+            sent.add(key)
+            buf = queues[link]
+            backlog = len(buf) - heads[link]
+            if backlog:
+                if backlog >= strict_limit:
+                    raise BandwidthExceededError(
+                        f"link {node_id}->{v} exceeded capacity "
+                        f"{strict_limit} per round"
+                    )
+                backlog += 1
+                if backlog > link_max[link]:
+                    link_max[link] = backlog
+            buf.append(message)
+            if not is_active[link]:
+                is_active[link] = 1
+                active.append(link)
 
     def broadcast(self, tag: str, payload: Any = None, *, algorithm_id: int = 0) -> None:
         """Send the same message to every neighbour."""
-        for v in self.neighbors:
-            self.send(v, tag, payload, algorithm_id=algorithm_id)
+        self.multicast(self.neighbors, tag, payload, algorithm_id)
 
     def halt(self) -> None:
         """Mark this node as locally terminated.
@@ -80,11 +283,19 @@ class NodeContext:
         arrive), matching the usual convention that termination is only
         final when the whole system is quiescent.
         """
-        self.halted = True
+        if not self.halted:
+            self.halted = True
+            awake = self._awake
+            if awake is not None:
+                awake.discard(self.node_id)
 
     def wake(self) -> None:
         """Clear the halted flag (called by the engine on message arrival)."""
-        self.halted = False
+        if self.halted:
+            self.halted = False
+            awake = self._awake
+            if awake is not None:
+                awake.add(self.node_id)
 
     # ------------------------------------------------------------------
     # engine-side helpers (not part of the algorithm-facing API)

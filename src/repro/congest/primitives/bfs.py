@@ -17,6 +17,7 @@ scheduling theorem (Theorem 2.1 in the paper, [Gha15]) controls.
 
 from __future__ import annotations
 
+from sys import intern
 from typing import Optional
 
 from ..algorithm import DistributedAlgorithm
@@ -49,6 +50,9 @@ class DistributedBFS(DistributedAlgorithm):
     """
 
     name = "bfs"
+    # One algorithm_id per instance => at most one message per link per
+    # round, so runs qualify for the engine's express delivery lane.
+    single_channel = True
 
     def __init__(
         self,
@@ -66,49 +70,92 @@ class DistributedBFS(DistributedAlgorithm):
         self.max_depth = max_depth
         self.prefix = prefix
         self.algorithm_id = algorithm_id
+        # Interned tag and precomputed state keys: the round handler runs
+        # once per touched node per round, so it must not rebuild these
+        # strings by concatenation on every call.  Interning the tag makes
+        # the receive-side comparison a pointer check.
+        self._tag_explore = intern(prefix + "explore")
+        self._key_dist = intern(prefix + "dist")
+        self._key_parent = intern(prefix + "parent")
+        self._key_root = intern(prefix + "root")
+        self._key_allowed = intern(prefix + "__allowed")
 
     # ------------------------------------------------------------------
     def _allowed_neighbors(self, node: NodeContext) -> list[int]:
+        # Cached per node (under this BFS's prefix): the filtered neighbour
+        # list is re-announced on every distance improvement, so rebuilding
+        # it from the allowed-set each time is pure per-round overhead.  The
+        # entry is owned by this instance — a later ``reset=False`` run of a
+        # *different* BFS with the same prefix must not inherit a filter
+        # built from someone else's allowed_adjacency.
+        entry = node.state.get(self._key_allowed)
+        if entry is not None and entry[0] is self:
+            return entry[1]
         if self.allowed_adjacency is None:
-            return list(node.neighbors)
-        allowed = self.allowed_adjacency.get(node.node_id)
-        if allowed is None:
-            return []
-        return [v for v in node.neighbors if v in allowed]
+            cached = list(node.neighbors)
+        else:
+            allowed = self.allowed_adjacency.get(node.node_id)
+            if allowed is None:
+                cached = []
+            else:
+                cached = [v for v in node.neighbors if v in allowed]
+        node.state[self._key_allowed] = (self, cached)
+        return cached
 
     def _announce(self, node: NodeContext) -> None:
-        dist = node.state[self.prefix + "dist"]
-        root = node.state[self.prefix + "root"]
+        dist = node.state[self._key_dist]
         if self.max_depth is not None and dist >= self.max_depth:
             return
-        for v in self._allowed_neighbors(node):
-            node.send(v, self.prefix + "explore", (dist, root), algorithm_id=self.algorithm_id)
+        node.multicast(
+            self._allowed_neighbors(node),
+            self._tag_explore,
+            (dist, node.state[self._key_root]),
+            self.algorithm_id,
+        )
 
     # ------------------------------------------------------------------
     def initialize(self, node: NodeContext) -> None:
         if node.node_id in self.sources:
-            node.state[self.prefix + "dist"] = 0
-            node.state[self.prefix + "parent"] = node.node_id
-            node.state[self.prefix + "root"] = node.node_id
+            node.state[self._key_dist] = 0
+            node.state[self._key_parent] = node.node_id
+            node.state[self._key_root] = node.node_id
             self._announce(node)
         node.halt()
 
     def on_round(self, node: NodeContext, messages: list[Message]) -> None:
+        tag = self._tag_explore
+        algorithm_id = self.algorithm_id
+        if len(messages) == 1:
+            # Unit bandwidth delivers one message per round per link, so
+            # single-message inboxes dominate; skip the candidate ranking.
+            msg = messages[0]
+            if msg.tag == tag and msg.algorithm_id == algorithm_id:
+                dist, root = msg.payload
+                new_dist = dist + 1
+                state = node.state
+                current = state.get(self._key_dist)
+                if current is None or new_dist < current:
+                    state[self._key_dist] = new_dist
+                    state[self._key_parent] = msg.sender
+                    state[self._key_root] = root
+                    self._announce(node)
+            node.halt()
+            return
         best: Optional[tuple[int, int, int]] = None  # (dist, root, sender)
         for msg in messages:
-            if msg.tag != self.prefix + "explore" or msg.algorithm_id != self.algorithm_id:
+            if msg.tag != tag or msg.algorithm_id != algorithm_id:
                 continue
             dist, root = msg.payload
             candidate = (dist + 1, root, msg.sender)
             if best is None or candidate < best:
                 best = candidate
         if best is not None:
-            current = node.state.get(self.prefix + "dist")
+            current = node.state.get(self._key_dist)
             new_dist, root, sender = best
             if current is None or new_dist < current:
-                node.state[self.prefix + "dist"] = new_dist
-                node.state[self.prefix + "parent"] = sender
-                node.state[self.prefix + "root"] = root
+                node.state[self._key_dist] = new_dist
+                node.state[self._key_parent] = sender
+                node.state[self._key_root] = root
                 self._announce(node)
         node.halt()
 

@@ -13,6 +13,7 @@ The same primitive run on the whole graph elects a global leader.
 
 from __future__ import annotations
 
+from sys import intern
 from typing import Optional
 
 from ..algorithm import DistributedAlgorithm
@@ -37,6 +38,8 @@ class FloodMax(DistributedAlgorithm):
     """
 
     name = "flood_max"
+    # One algorithm_id per instance => express-lane eligible.
+    single_channel = True
 
     def __init__(
         self,
@@ -48,41 +51,58 @@ class FloodMax(DistributedAlgorithm):
         self.allowed_adjacency = allowed_adjacency
         self.prefix = prefix
         self.algorithm_id = algorithm_id
+        # Interned tag + precomputed keys, mirroring DistributedBFS: the
+        # round handler is the per-touched-node hot path.
+        self._tag_max = intern(prefix + "max")
+        self._key_leader = intern(prefix + "leader")
+        self._key_allowed = intern(prefix + "__allowed")
 
     def _allowed_neighbors(self, node: NodeContext) -> list[int]:
+        # Instance-owned cache entry (see DistributedBFS._allowed_neighbors):
+        # a same-prefix follow-up run must not inherit another instance's
+        # filtered list.
+        entry = node.state.get(self._key_allowed)
+        if entry is not None and entry[0] is self:
+            return entry[1]
         if self.allowed_adjacency is None:
-            return list(node.neighbors)
-        allowed = self.allowed_adjacency.get(node.node_id)
-        if allowed is None:
-            return []
-        return [v for v in node.neighbors if v in allowed]
+            cached = list(node.neighbors)
+        else:
+            allowed = self.allowed_adjacency.get(node.node_id)
+            if allowed is None:
+                cached = []
+            else:
+                cached = [v for v in node.neighbors if v in allowed]
+        node.state[self._key_allowed] = (self, cached)
+        return cached
 
     def _participates(self, node: NodeContext) -> bool:
         return self.allowed_adjacency is None or node.node_id in self.allowed_adjacency
 
     def initialize(self, node: NodeContext) -> None:
         if self._participates(node):
-            node.state[self.prefix + "leader"] = node.node_id
-            for v in self._allowed_neighbors(node):
-                node.send(v, self.prefix + "max", node.node_id, algorithm_id=self.algorithm_id)
+            node.state[self._key_leader] = node.node_id
+            node.multicast(
+                self._allowed_neighbors(node), self._tag_max, node.node_id, self.algorithm_id
+            )
         node.halt()
 
     def on_round(self, node: NodeContext, messages: list[Message]) -> None:
         if not self._participates(node):
             node.halt()
             return
-        best = node.state[self.prefix + "leader"]
+        tag = self._tag_max
+        algorithm_id = self.algorithm_id
+        best = node.state[self._key_leader]
         improved = False
         for msg in messages:
-            if msg.tag != self.prefix + "max" or msg.algorithm_id != self.algorithm_id:
+            if msg.tag != tag or msg.algorithm_id != algorithm_id:
                 continue
             if msg.payload > best:
                 best = msg.payload
                 improved = True
         if improved:
-            node.state[self.prefix + "leader"] = best
-            for v in self._allowed_neighbors(node):
-                node.send(v, self.prefix + "max", best, algorithm_id=self.algorithm_id)
+            node.state[self._key_leader] = best
+            node.multicast(self._allowed_neighbors(node), tag, best, algorithm_id)
         node.halt()
 
     def finalize(self, network) -> None:

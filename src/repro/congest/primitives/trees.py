@@ -20,6 +20,7 @@ is robust to message delays introduced by link congestion.
 
 from __future__ import annotations
 
+from sys import intern
 from typing import Any, Callable, Optional
 
 from ..algorithm import DistributedAlgorithm
@@ -67,6 +68,8 @@ class TreeAggregate(DistributedAlgorithm):
     """
 
     name = "tree_aggregate"
+    # One algorithm_id per instance => express-lane eligible.
+    single_channel = True
 
     def __init__(
         self,
@@ -93,13 +96,24 @@ class TreeAggregate(DistributedAlgorithm):
         self.prefix = prefix
         self.broadcast_result = broadcast_result
         self.algorithm_id = algorithm_id
+        # Interned tags + precomputed state keys: every touched node compares
+        # its message tags against these once per round.
+        self._tag_announce = intern(prefix + "announce")
+        self._tag_up = intern(prefix + "up")
+        self._tag_down = intern(prefix + "down")
+        self._key_parent = intern(tree_prefix + "parent")
+        self._key_children = intern(prefix + "children")
+        self._key_child_values = intern(prefix + "child_values")
+        self._key_sent_up = intern(prefix + "sent_up")
+        self._key_announcements = intern(prefix + "announcements")
+        self._key_result = intern(prefix + "result")
 
     # ------------------------------------------------------------------
     def _participates(self, node: NodeContext) -> bool:
-        return (self.tree_prefix + "parent") in node.state
+        return self._key_parent in node.state
 
     def _parent(self, node: NodeContext) -> int:
-        return node.state[self.tree_prefix + "parent"]
+        return node.state[self._key_parent]
 
     def _is_root(self, node: NodeContext) -> bool:
         return self._parent(node) == node.node_id
@@ -118,67 +132,69 @@ class TreeAggregate(DistributedAlgorithm):
             # question: it tells every neighbour "I am not your child", so
             # tree nodes bordering non-participants know not to wait for
             # them.  This costs one message per incident edge.
-            for v in node.neighbors:
-                node.send(v, self.prefix + "announce", 0, algorithm_id=self.algorithm_id)
+            node.multicast(node.neighbors, self._tag_announce, 0, self.algorithm_id)
             node.halt()
             return
         parent = self._parent(node)
-        node.state[self.prefix + "children"] = []
+        node.state[self._key_children] = []
         node.state[self.prefix + "pending_children"] = None
-        node.state[self.prefix + "child_values"] = []
-        node.state[self.prefix + "sent_up"] = False
-        node.state[self.prefix + "announcements"] = 0
+        node.state[self._key_child_values] = []
+        node.state[self._key_sent_up] = False
+        node.state[self._key_announcements] = 0
         # Phase 1: tell every neighbour whether it is our parent.  Only
         # neighbours can possibly be tree-adjacent, and non-participating
         # neighbours simply ignore the announcement.
+        is_root = self._is_root(node)
         for v in node.neighbors:
-            is_parent = 1 if (v == parent and not self._is_root(node)) else 0
-            node.send(v, self.prefix + "announce", is_parent, algorithm_id=self.algorithm_id)
+            is_parent = 1 if (v == parent and not is_root) else 0
+            node.send(v, self._tag_announce, is_parent, algorithm_id=self.algorithm_id)
         node.halt()
 
     def on_round(self, node: NodeContext, messages: list[Message]) -> None:
         if not self._participates(node):
             node.halt()
             return
+        state = node.state
+        algorithm_id = self.algorithm_id
         for msg in messages:
-            if msg.algorithm_id != self.algorithm_id:
+            if msg.algorithm_id != algorithm_id:
                 continue
-            if msg.tag == self.prefix + "announce":
-                node.state[self.prefix + "announcements"] += 1
+            if msg.tag == self._tag_announce:
+                state[self._key_announcements] += 1
                 if msg.payload == 1:
-                    node.state[self.prefix + "children"].append(msg.sender)
-            elif msg.tag == self.prefix + "up":
-                node.state[self.prefix + "child_values"].append(msg.payload)
-            elif msg.tag == self.prefix + "down":
+                    state[self._key_children].append(msg.sender)
+            elif msg.tag == self._tag_up:
+                state[self._key_child_values].append(msg.payload)
+            elif msg.tag == self._tag_down:
                 self._receive_result(node, msg.payload)
         self._maybe_send_up(node)
         node.halt()
 
     # ------------------------------------------------------------------
     def _maybe_send_up(self, node: NodeContext) -> None:
-        if node.state[self.prefix + "sent_up"]:
+        state = node.state
+        if state[self._key_sent_up]:
             return
         # We know our children only after every neighbour has announced.
-        if node.state[self.prefix + "announcements"] < len(node.neighbors):
+        if state[self._key_announcements] < len(node.neighbors):
             return
-        children = node.state[self.prefix + "children"]
-        values = node.state[self.prefix + "child_values"]
+        children = state[self._key_children]
+        values = state[self._key_child_values]
         if len(values) < len(children):
             return
         combined = self._own_value(node)
         for v in values:
             combined = self.op(combined, v)
-        node.state[self.prefix + "sent_up"] = True
+        state[self._key_sent_up] = True
         if self._is_root(node):
             self._receive_result(node, combined, is_root=True)
         else:
-            node.send(self._parent(node), self.prefix + "up", combined, algorithm_id=self.algorithm_id)
+            node.send(self._parent(node), self._tag_up, combined, algorithm_id=self.algorithm_id)
 
     def _receive_result(self, node: NodeContext, value: Any, *, is_root: bool = False) -> None:
-        node.state[self.prefix + "result"] = value
+        node.state[self._key_result] = value
         if self.broadcast_result:
-            for child in node.state[self.prefix + "children"]:
-                node.send(child, self.prefix + "down", value, algorithm_id=self.algorithm_id)
+            node.multicast(node.state[self._key_children], self._tag_down, value, self.algorithm_id)
 
 
 def read_aggregate(network, roots: Optional[set[int]] = None, prefix: str = "agg_") -> dict[int, Any]:

@@ -65,12 +65,17 @@ class CSRGraph:
         for u, v in edge_list:
             deg[u] += 1
             deg[v] += 1
-        indptr = array("l", [0]) * (n + 1)
+        # Fill into plain lists (cheaper element stores than array('l')) and
+        # convert once at the end; the conversion is a single C pass.
+        indptr_list = [0] * (n + 1)
+        acc = 0
         for v in range(n):
-            indptr[v + 1] = indptr[v] + deg[v]
-        cursor = list(indptr[:n])
-        indices = array("l", [0]) * (2 * m)
-        edge_ids = array("l", [0]) * (2 * m)
+            indptr_list[v] = acc
+            acc += deg[v]
+        indptr_list[n] = acc
+        cursor = indptr_list[:n]
+        indices = [0] * (2 * m)
+        edge_ids = [0] * (2 * m)
         # Filling in edge-id order yields ascending neighbour lists: for a
         # vertex x, all canonical edges (w, x) with w < x sort before every
         # (x, v), and both groups are ascending in the other endpoint.
@@ -83,9 +88,9 @@ class CSRGraph:
             indices[cv] = u
             edge_ids[cv] = eid
             cursor[v] = cv + 1
-        self.indptr = indptr
-        self.indices = indices
-        self.edge_ids = edge_ids
+        self.indptr = array("l", indptr_list)
+        self.indices = array("l", indices)
+        self.edge_ids = array("l", edge_ids)
         self._edge_id_map: Optional[dict[tuple[int, int], int]] = None
 
     # ------------------------------------------------------------------

@@ -147,6 +147,36 @@ class Graph:
         self._csr_cache = None
         return True
 
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> int:
+        """Add many edges at once; returns how many were newly added.
+
+        Semantically a loop of :meth:`add_edge` (same validation, duplicate
+        edges skipped), but with the per-edge overhead hoisted — the graph
+        generators use this to build large instances cheaply.  The whole
+        batch is validated before any edge is inserted, so a raised
+        ``ValueError`` leaves the graph unchanged (a mid-batch failure must
+        not leave the adjacency sets, edge count and CSR cache disagreeing).
+        """
+        n = self._n
+        batch = edges if isinstance(edges, (list, tuple)) else list(edges)
+        for u, v in batch:
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"vertex of edge ({u}, {v}) out of range 0..{n - 1}")
+            if u == v:
+                raise ValueError(f"self-loop ({u}, {v}) is not allowed")
+        adj = self._adj
+        added = 0
+        for u, v in batch:
+            row = adj[u]
+            if v not in row:
+                row.add(v)
+                adj[v].add(u)
+                added += 1
+        self._num_edges += added
+        if added:
+            self._csr_cache = None
+        return added
+
     def remove_edge(self, u: int, v: int) -> bool:
         """Remove the undirected edge ``{u, v}`` if present.
 

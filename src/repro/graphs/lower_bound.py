@@ -113,24 +113,28 @@ def build_lower_bound_graph(
         next_id += size
 
     g = Graph(next_id)
+    edges: list[tuple[int, int]] = []
     # Path edges.
     for p in range(num_paths):
-        for c in range(path_length - 1):
-            g.add_edge(path_vertex[p][c], path_vertex[p][c + 1])
+        row = path_vertex[p]
+        edges.extend(zip(row, row[1:]))
     # Tree edges: node i at level L attaches to parent i // branching at
     # level L-1 (the leaf level may be wider/narrower than branching**depth,
     # so parents are assigned by proportional index to keep the tree balanced).
     for level in range(1, depth + 1):
         parents = levels[level - 1]
         children = levels[level]
+        last_parent = len(parents) - 1
         for idx, child in enumerate(children):
-            parent_idx = min(idx * len(parents) // len(children), len(parents) - 1)
-            g.add_edge(child, parents[parent_idx])
+            parent_idx = min(idx * len(parents) // len(children), last_parent)
+            edges.append((child, parents[parent_idx]))
     # Column attachment: leaf j connects to vertex j of every path.
     leaves = levels[depth]
     for c in range(num_columns):
+        leaf = leaves[c]
         for p in range(num_paths):
-            g.add_edge(leaves[c], path_vertex[p][c])
+            edges.append((leaf, path_vertex[p][c]))
+    g.add_edges(edges)
 
     parts = [set(path_vertex[p]) for p in range(num_paths)]
     tree_vertices = {v for level in levels for v in level}

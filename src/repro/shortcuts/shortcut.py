@@ -221,10 +221,21 @@ class Shortcut:
         """
         adj: dict[int, set[int]] = {v: set() for v in self.partition.part(index)}
         edge_list = self._csr.edge_list
-        for e in self.augmented_edge_ids(index):
-            u, v = edge_list[e]
-            adj.setdefault(u, set()).add(v)
-            adj.setdefault(v, set()).add(u)
+        get = adj.get
+        # Iterate the part and shortcut id collections directly rather than
+        # materializing their union: re-adding an edge present in both is
+        # idempotent on the adjacency sets.
+        for ids in (self._part_edge_ids(index), self._subgraph_ids[index]):
+            for e in ids:
+                u, v = edge_list[e]
+                su = get(u)
+                if su is None:
+                    su = adj[u] = set()
+                su.add(v)
+                sv = get(v)
+                if sv is None:
+                    sv = adj[v] = set()
+                sv.add(u)
         return adj
 
     def total_shortcut_edges(self) -> int:

@@ -231,3 +231,28 @@ class TestSubgraphClass:
     def test_subgraph_repr(self):
         sub = Subgraph(5, {0}, [])
         assert "Subgraph" in repr(sub)
+
+
+class TestAddEdgesBatch:
+    def test_add_edges_counts_and_dedups(self):
+        g = Graph(4)
+        added = g.add_edges([(0, 1), (1, 2), (0, 1), (2, 3)])
+        assert added == 3
+        assert g.num_edges == 3
+        assert g.neighbors(1) == {0, 2}
+
+    def test_failed_batch_leaves_graph_unchanged(self):
+        # Validation runs over the whole batch before any insertion, so a
+        # bad edge cannot leave adjacency, edge count and the CSR cache
+        # disagreeing.
+        g = Graph(3)
+        g.add_edge(0, 1)
+        snapshot = g.csr()
+        with pytest.raises(ValueError):
+            g.add_edges([(1, 2), (0, 0)])  # self-loop after a valid edge
+        assert g.num_edges == 1
+        assert g.neighbors(1) == {0}
+        assert g.csr() is snapshot  # cache still valid: nothing changed
+        with pytest.raises(ValueError):
+            g.add_edges(iter([(1, 2), (0, 5)]))  # out of range, via iterator
+        assert g.num_edges == 1
