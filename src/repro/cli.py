@@ -42,10 +42,13 @@ from .shortcuts.baselines import (
     build_kitamura_style_shortcut,
     build_naive_shortcut,
 )
+from .shortcuts.distributed import build_distributed_kogan_parter
 from .shortcuts.kogan_parter import build_kogan_parter_shortcut
 
-#: Shortcut engines selectable from the command line.
-ENGINES = ("kogan-parter", "kitamura", "ghaffari-haeupler", "naive", "empty")
+#: Shortcut engines selectable from the command line.  ``distributed`` runs
+#: the fully simulated CONGEST pipeline and additionally reports its
+#: measured per-stage rounds.
+ENGINES = ("kogan-parter", "distributed", "kitamura", "ghaffari-haeupler", "naive", "empty")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
     shortcut.add_argument("--save", help="write the shortcut (with its graph) to this JSON file")
     shortcut.add_argument("--exact-dilation", action="store_true",
                           help="measure dilation exactly (slower)")
+    shortcut.add_argument("--unknown-diameter", action="store_true",
+                          help="distributed engine only: run the diameter-guessing "
+                               "loop (measured BFS 2-approximation + geometric doubling)")
 
     mst = sub.add_parser("mst", help="run Boruvka-over-shortcuts on a generated workload")
     mst.add_argument("--n", type=int, default=300)
@@ -122,11 +128,25 @@ def _build_engine_shortcut(engine: str, graph, partition, diameter_value, log_fa
 
 
 def _command_shortcut(args: argparse.Namespace) -> int:
+    if args.unknown_diameter and args.engine != "distributed":
+        print("error: --unknown-diameter only applies to --engine distributed",
+              file=sys.stderr)
+        return 2
     workload = make_workload(args.workload, args.n, args.diameter, seed=args.seed)
-    shortcut = _build_engine_shortcut(
-        args.engine, workload.graph, workload.partition, workload.diameter,
-        args.log_factor, args.seed,
-    )
+    distributed_result = None
+    if args.engine == "distributed":
+        distributed_result = build_distributed_kogan_parter(
+            workload.graph, workload.partition,
+            diameter_value=None if args.unknown_diameter else workload.diameter,
+            known_diameter=not args.unknown_diameter,
+            log_factor=args.log_factor, rng=args.seed,
+        )
+        shortcut = distributed_result.shortcut
+    else:
+        shortcut = _build_engine_shortcut(
+            args.engine, workload.graph, workload.partition, workload.diameter,
+            args.log_factor, args.seed,
+        )
     report = shortcut.quality_report(exact_dilation=args.exact_dilation)
     n = workload.graph.num_vertices
     print(f"workload        : {workload.name} (n={n}, m={workload.graph.num_edges}, D={workload.diameter})")
@@ -138,6 +158,12 @@ def _command_shortcut(args: argparse.Namespace) -> int:
     print(f"shortcut edges  : {report.num_shortcut_edges}")
     print(f"predicted ~k_D log n : {args.log_factor * predicted_quality(n, workload.diameter):.1f}")
     print(f"Elkin lower bound    : {elkin_lower_bound(n, workload.diameter):.1f}")
+    if distributed_result is not None:
+        print(f"total rounds    : {distributed_result.total_rounds}")
+        print(f"attempted guesses: {distributed_result.attempted_guesses}")
+        print(f"spanning ok     : {distributed_result.spanning_ok}")
+        for stage, rounds in distributed_result.rounds_breakdown.items():
+            print(f"  rounds[{stage}] : {rounds}")
     if args.save:
         repro_io.save_json(shortcut, args.save)
         print(f"saved to {args.save}")

@@ -272,6 +272,94 @@ class NodeContext:
                 is_active[link] = 1
                 active.append(link)
 
+    def multicast_links(self, links, targets, tag: str, payload: Any = None,
+                        algorithm_id: int = 0) -> None:
+        """Send one shared message over precomputed directed link ids.
+
+        The link-mask variant of :meth:`multicast`, used by the primitives
+        that carry a :class:`~repro.graphs.csr.CSRLinkMask`: ``links`` and
+        ``targets`` are the parallel per-node slices of the mask (link ids
+        and the neighbours they lead to), so the engine-wired path skips the
+        per-target ``neighbor -> link`` dict lookups entirely.
+
+        Trust contract: the caller guarantees that (a) every link id is a
+        valid out-link of this node for the wired network's topology (true
+        by construction for slices of a mask over the same CSR snapshot),
+        (b) it sends at most once per link per round per algorithm id —
+        the announce-once-per-round discipline of the BFS primitives — so
+        the duplicate-send guard is skipped on the ring path, and (c) the
+        payload is a scalar or small scalar tuple, so per-send payload
+        validation is skipped too (the in-tree primitives only ever send
+        ``(int, int)`` announcements over this path).  Per-link bandwidth
+        accounting (strict capacity, backlog maxima) is identical to
+        :meth:`multicast`.
+        """
+        queues = self._queues
+        if queues is None:
+            # Standalone mode: fall back to validated per-target sends.
+            for v in targets:
+                self.send(v, tag, payload, algorithm_id)
+            return
+        node_id = self.node_id
+        message = Message(node_id, -1, tag, payload, algorithm_id)
+        pending = self._express_pending
+        if pending is not None:
+            # Express lane (single-channel run): land straight in the
+            # receivers' next-round inboxes, accounting per edge.
+            receivers = self._pending_receivers
+            edge_counts = self._edge_counts
+            sent = self._sent_this_round
+            for link, v in zip(links, targets):
+                sent.add(link)
+                plist = pending[v]
+                if not plist:
+                    receivers.append(v)
+                plist.append(message)
+                edge_counts[link >> 1] += 1
+            return
+        heads = self._heads
+        link_max = self._link_max
+        is_active = self._link_is_active
+        active = self._link_active
+        strict_limit = self._strict_limit
+        for link in links:
+            buf = queues[link]
+            backlog = len(buf) - heads[link]
+            if backlog:
+                if backlog >= strict_limit:
+                    raise BandwidthExceededError(
+                        f"link {node_id}->{self._link_receiver(link)} exceeded "
+                        f"capacity {strict_limit} per round"
+                    )
+                backlog += 1
+                if backlog > link_max[link]:
+                    link_max[link] = backlog
+            buf.append(message)
+            if not is_active[link]:
+                is_active[link] = 1
+                active.append(link)
+
+    def out_link_ids(self, targets) -> Optional[list[int]]:
+        """Directed link ids of sends to these neighbours, or ``None``.
+
+        ``None`` on standalone (engine-less) contexts, where no link table
+        exists; callers then fall back to :meth:`multicast`.  Used by
+        primitives that repeatedly multicast to a fixed neighbour set (e.g.
+        the pipelined numbering's down-stream) to precompute their
+        :meth:`multicast_links` arguments once.
+        """
+        if self._queues is None:
+            return None
+        out = self._out_link
+        return [out[v] for v in targets]
+
+    def _link_receiver(self, link: int) -> int:
+        """Best-effort reverse lookup of a link's receiver (error paths only)."""
+        for neighbor, out in self._out_link.items():
+            if out == link:
+                return neighbor
+        return -1
+
     def broadcast(self, tag: str, payload: Any = None, *, algorithm_id: int = 0) -> None:
         """Send the same message to every neighbour."""
         self.multicast(self.neighbors, tag, payload, algorithm_id)

@@ -1,19 +1,26 @@
-"""Reusable CONGEST building blocks: BFS, leader election, tree aggregation,
-diameter estimation and their read-back helpers."""
+"""Reusable CONGEST building blocks: BFS (single and mask-native concurrent
+fleets), leader election, tree aggregation, pipelined numbering, spanning
+verification, diameter estimation and their read-back helpers."""
 
 from .bfs import DistributedBFS, extract_bfs_tree
+from .concurrent_bfs import ConcurrentMaskedBFS
 from .diameter import make_diameter_estimation, read_diameter_estimate
 from .leader import FloodMax, read_leaders
+from .numbering import PipelinedNumbering
+from .spanning import PartwiseFlagConvergecast
 from .trees import AGGREGATE_OPS, TreeAggregate, read_aggregate
 
 __all__ = [
     "DistributedBFS",
     "extract_bfs_tree",
+    "ConcurrentMaskedBFS",
     "FloodMax",
     "read_leaders",
     "TreeAggregate",
     "read_aggregate",
     "AGGREGATE_OPS",
+    "PipelinedNumbering",
+    "PartwiseFlagConvergecast",
     "make_diameter_estimation",
     "read_diameter_estimate",
 ]

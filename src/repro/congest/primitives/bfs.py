@@ -43,6 +43,13 @@ class DistributedBFS(DistributedAlgorithm):
             H_i``" is expressed — each node knows its incident shortcut
             edges, which is exactly the local knowledge the distributed
             construction provides.
+        allowed_links: the CSR-native form of the same restriction — a
+            :class:`~repro.graphs.csr.CSRLinkMask` whose per-node slices
+            give the permitted neighbours *and* the directed link ids to
+            send over, so announcements take the allocation-free
+            ``multicast_links`` path.  Mutually exclusive with
+            ``allowed_adjacency``; produces the identical tree (pinned by
+            ``tests/test_distributed_pipeline.py``).
         max_depth: truncate the tree at this depth (``None`` = unbounded).
         prefix: state-key prefix, so several BFS results can coexist.
         algorithm_id: id used to tag messages when running under the
@@ -59,14 +66,18 @@ class DistributedBFS(DistributedAlgorithm):
         sources: set[int],
         *,
         allowed_adjacency: Optional[dict[int, set[int]]] = None,
+        allowed_links=None,
         max_depth: Optional[int] = None,
         prefix: str = "bfs_",
         algorithm_id: int = 0,
     ) -> None:
         if not sources:
             raise ValueError("at least one BFS source is required")
+        if allowed_adjacency is not None and allowed_links is not None:
+            raise ValueError("pass either allowed_adjacency or allowed_links, not both")
         self.sources = set(sources)
         self.allowed_adjacency = allowed_adjacency
+        self.allowed_links = allowed_links
         self.max_depth = max_depth
         self.prefix = prefix
         self.algorithm_id = algorithm_id
@@ -105,6 +116,21 @@ class DistributedBFS(DistributedAlgorithm):
     def _announce(self, node: NodeContext) -> None:
         dist = node.state[self._key_dist]
         if self.max_depth is not None and dist >= self.max_depth:
+            return
+        mask = self.allowed_links
+        if mask is not None:
+            starts = mask.starts
+            v = node.node_id
+            s = starts[v]
+            e = starts[v + 1]
+            if s != e:
+                node.multicast_links(
+                    mask.links[s:e],
+                    mask.targets[s:e],
+                    self._tag_explore,
+                    (dist, node.state[self._key_root]),
+                    self.algorithm_id,
+                )
             return
         node.multicast(
             self._allowed_neighbors(node),

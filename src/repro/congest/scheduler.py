@@ -19,6 +19,14 @@ simultaneously.  This module provides :class:`RandomDelayScheduler`, a
 * relies on the network's per-link queues to meter concurrent messages out
   at CONGEST bandwidth, so the measured round count genuinely reflects the
   congestion + dilation cost.
+
+For the specific (and round-dominant) case of a fleet of truncated BFS
+instances over CSR link masks, :class:`~repro.congest.primitives.
+concurrent_bfs.ConcurrentMaskedBFS` implements this exact schedule —
+identical message timing, tags and metrics — with flat per-instance labels
+instead of per-node state dictionaries; the generic scheduler here remains
+the reference implementation (and the oracle the equivalence tests pin the
+specialised fleet against).
 """
 
 from __future__ import annotations

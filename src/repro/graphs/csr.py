@@ -20,6 +20,16 @@ snapshot instead:
 Snapshots are built once per graph via :meth:`Graph.csr` (cached, invalidated
 on mutation) and shared by the traversal layer, the shortcut quality
 measurements and the CONGEST engine's link/edge indexing.
+
+Directed link ids
+-----------------
+The CONGEST engine assigns every undirected edge ``e = (lo, hi)`` two dense
+*directed link ids*: ``2e`` for ``lo -> hi`` and ``2e + 1`` for ``hi -> lo``.
+:class:`CSRLinkMask` expresses an "allowed subgraph" as a flat permit array
+over these link ids and materializes, per node, the permitted out-neighbour
+and out-link lists the distributed BFS primitives consume — replacing the
+per-part dict-of-sets adjacency maps the distributed driver used to build in
+O(n·Δ) Python per diameter guess.
 """
 
 from __future__ import annotations
@@ -27,6 +37,8 @@ from __future__ import annotations
 from array import array
 from collections.abc import Iterable
 from typing import Optional
+
+import numpy as np
 
 #: Distance label used for unreached vertices in the array kernels.
 UNREACHED = -1
@@ -53,7 +65,7 @@ class CSRGraph:
     """
 
     __slots__ = ("num_vertices", "num_edges", "edge_list", "indptr", "indices",
-                 "edge_ids", "_edge_id_map")
+                 "edge_ids", "_edge_id_map", "_adjacency_arrays")
 
     def __init__(self, num_vertices: int, edge_list: list[tuple[int, int]]) -> None:
         n = num_vertices
@@ -92,6 +104,7 @@ class CSRGraph:
         self.indices = array("l", indices)
         self.edge_ids = array("l", edge_ids)
         self._edge_id_map: Optional[dict[tuple[int, int], int]] = None
+        self._adjacency_arrays: Optional["AdjacencyArrays"] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -136,8 +149,148 @@ class CSRGraph:
         """Return the ids of the edges incident to ``v``."""
         return self.edge_ids[self.indptr[v]:self.indptr[v + 1]]
 
+    def adjacency_arrays(self) -> "AdjacencyArrays":
+        """Return the cached :class:`AdjacencyArrays` of this snapshot."""
+        arrays = self._adjacency_arrays
+        if arrays is None:
+            arrays = self._adjacency_arrays = AdjacencyArrays(self)
+        return arrays
+
     def __repr__(self) -> str:
         return f"CSRGraph(n={self.num_vertices}, m={self.num_edges})"
+
+
+class AdjacencyArrays:
+    """Vectorized (numpy) companions of a CSR snapshot's adjacency.
+
+    Built once per snapshot (via :meth:`CSRGraph.adjacency_arrays`) and shared
+    by every :class:`CSRLinkMask` over that snapshot.  All arrays are parallel
+    to the snapshot's ``indices`` adjacency entries:
+
+    Attributes:
+        indices: the neighbour of each adjacency entry.
+        edge_ids: the undirected edge id each entry crosses.
+        rows: the row (source vertex) owning each entry.
+        adj_link_ids: the *directed link id* each entry sends over — edge
+            ``e = (lo, hi)`` owns link ``2e`` for ``lo -> hi`` and ``2e + 1``
+            for ``hi -> lo``, the CONGEST engine's convention.
+        edge_u / edge_v: endpoint arrays of the canonical edge list, indexed
+            by edge id (``edge_u < edge_v``).
+    """
+
+    __slots__ = ("num_vertices", "indices", "edge_ids", "rows", "adj_link_ids",
+                 "edge_u", "edge_v")
+
+    def __init__(self, csr: CSRGraph) -> None:
+        self.num_vertices = csr.num_vertices
+        indptr = np.asarray(csr.indptr, dtype=np.int64)
+        self.indices = np.asarray(csr.indices, dtype=np.int64)
+        self.edge_ids = np.asarray(csr.edge_ids, dtype=np.int64)
+        self.rows = np.repeat(
+            np.arange(csr.num_vertices, dtype=np.int64), np.diff(indptr)
+        )
+        # Entry u -> v crosses link 2e when u < v (u is the canonical lo
+        # endpoint) and 2e + 1 otherwise.
+        self.adj_link_ids = 2 * self.edge_ids + (self.indices < self.rows)
+        if csr.num_edges:
+            edge_arr = np.asarray(csr.edge_list, dtype=np.int64)
+            self.edge_u = edge_arr[:, 0]
+            self.edge_v = edge_arr[:, 1]
+        else:
+            self.edge_u = np.empty(0, dtype=np.int64)
+            self.edge_v = np.empty(0, dtype=np.int64)
+
+
+class CSRLinkMask:
+    """An "allowed subgraph" view: flat per-directed-link permits over a CSR.
+
+    The mask stores, for every node, the permitted out-neighbours and the
+    directed link ids those sends travel over, in adjacency (ascending
+    neighbour) order.  Per-node reads are plain list slices, so a BFS
+    touching a node pays O(deg) once with no per-node set filtering and no
+    dict-of-sets construction.
+
+    Instances are built vectorized from a permit array over directed link
+    ids (length ``2m``) or over undirected edge ids (length ``m``, both
+    directions allowed).  Nodes with no permitted incident link simply have
+    empty neighbour lists, which is how "this node does not participate in
+    the subgraph" is expressed.
+    """
+
+    __slots__ = ("num_vertices", "starts", "targets", "links")
+
+    def __init__(self, csr: CSRGraph, link_permits: np.ndarray) -> None:
+        arrays = csr.adjacency_arrays()
+        permits = np.asarray(link_permits, dtype=bool)
+        if len(permits) == csr.num_edges:
+            # Undirected permits: both directions of each permitted edge.
+            pos = np.flatnonzero(permits[arrays.edge_ids])
+        elif len(permits) == 2 * csr.num_edges:
+            pos = np.flatnonzero(permits[arrays.adj_link_ids])
+        else:
+            raise ValueError(
+                f"permit array has {len(link_permits)} entries; expected "
+                f"{csr.num_edges} (per edge) or {2 * csr.num_edges} (per "
+                f"directed link)"
+            )
+        n = csr.num_vertices
+        self.num_vertices = n
+        # Bulk tolist: per-announce numpy slicing + tolist costs ~2us per
+        # touched node, which dominates a BFS flood; Python list slices do
+        # not.
+        self.targets: list[int] = arrays.indices[pos].tolist()
+        self.links: list[int] = arrays.adj_link_ids[pos].tolist()
+        self.starts: list[int] = np.searchsorted(
+            arrays.rows[pos], np.arange(n + 1, dtype=np.int64)
+        ).tolist()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_ids(cls, csr: CSRGraph, edge_ids: Iterable[int]) -> "CSRLinkMask":
+        """Build a mask permitting both directions of the given edge ids."""
+        permit_edges = np.zeros(csr.num_edges, dtype=bool)
+        if isinstance(edge_ids, np.ndarray):
+            ids = edge_ids.astype(np.int64, copy=False)
+        else:
+            seq = edge_ids if hasattr(edge_ids, "__len__") else list(edge_ids)
+            ids = np.fromiter(seq, dtype=np.int64, count=len(seq))
+        permit_edges[ids] = True
+        return cls(csr, permit_edges)
+
+    @classmethod
+    def intra_partition(cls, csr: CSRGraph, labels: np.ndarray) -> "CSRLinkMask":
+        """Build the mask of edges whose endpoints share a (non-negative) label.
+
+        ``labels`` assigns every vertex a part index, with ``-1`` for
+        vertices outside every part; an edge is permitted (both directions)
+        exactly when its endpoints carry the same non-negative label.  This
+        is the union of the induced subgraphs ``G[S_i]`` — the stage-1
+        detection BFS of the distributed construction runs on it.
+        """
+        arrays = csr.adjacency_arrays()
+        labels = np.asarray(labels, dtype=np.int64)
+        lu = labels[arrays.edge_u]
+        permit_edges = (lu == labels[arrays.edge_v]) & (lu >= 0)
+        return cls(csr, permit_edges)
+
+    # ------------------------------------------------------------------
+    def neighbors_of(self, v: int) -> list[int]:
+        """Return the permitted out-neighbours of ``v`` (ascending)."""
+        return self.targets[self.starts[v]:self.starts[v + 1]]
+
+    def links_of(self, v: int) -> list[int]:
+        """Return the directed link ids of ``v``'s permitted sends."""
+        return self.links[self.starts[v]:self.starts[v + 1]]
+
+    def degree(self, v: int) -> int:
+        """Return the number of permitted out-links of ``v``."""
+        return self.starts[v + 1] - self.starts[v]
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRLinkMask(n={self.num_vertices}, "
+            f"allowed_links={len(self.targets)})"
+        )
 
 
 # ----------------------------------------------------------------------

@@ -177,10 +177,18 @@ def read_edge_list(path: PathLike) -> Graph:
     Lines with three fields produce a :class:`WeightedGraph`; the vertex
     count comes from the header comment or, if absent, from the largest
     vertex id seen.
+
+    Raises:
+        ValueError: for malformed rows — wrong field count, non-numeric
+            fields or mixed weighted/unweighted rows — naming the offending
+            line.  (Arity is validated while reading, *before* the
+            vertex-count inference touches any row: the seed version indexed
+            ``row[1]`` during inference and leaked an ``IndexError`` for
+            one-field rows.)
     """
     num_vertices = None
     rows: list[list[str]] = []
-    for line in Path(path).read_text().splitlines():
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
         line = line.strip()
         if not line:
             continue
@@ -189,7 +197,22 @@ def read_edge_list(path: PathLike) -> Graph:
             if len(fields) == 2 and fields[0] == "vertices":
                 num_vertices = int(fields[1])
             continue
-        rows.append(line.split())
+        fields = line.split()
+        if len(fields) not in (2, 3):
+            raise ValueError(
+                f"bad edge row on line {lineno}: {line!r} "
+                f"(expected 'u v' or 'u v w', got {len(fields)} fields)"
+            )
+        try:
+            int(fields[0])
+            int(fields[1])
+            if len(fields) == 3:
+                float(fields[2])
+        except ValueError:
+            raise ValueError(
+                f"non-numeric edge row on line {lineno}: {line!r}"
+            ) from None
+        rows.append(fields)
     if num_vertices is None:
         num_vertices = max((max(int(r[0]), int(r[1])) for r in rows), default=-1) + 1
     weighted = any(len(r) == 3 for r in rows)
@@ -202,8 +225,6 @@ def read_edge_list(path: PathLike) -> Graph:
         return wgraph
     graph = Graph(num_vertices)
     for r in rows:
-        if len(r) != 2:
-            raise ValueError(f"bad edge row {' '.join(r)!r}")
         graph.add_edge(int(r[0]), int(r[1]))
     return graph
 

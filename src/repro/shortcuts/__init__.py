@@ -27,6 +27,8 @@ from .distributed import (
     DistributedShortcutResult,
     build_distributed_kogan_parter,
     detect_large_parts,
+    geometric_guesses,
+    measure_diameter_probe,
 )
 from .kogan_parter import (
     KoganParterParameters,
@@ -68,6 +70,8 @@ __all__ = [
     "DistributedShortcutResult",
     "build_distributed_kogan_parter",
     "detect_large_parts",
+    "geometric_guesses",
+    "measure_diameter_probe",
     "OddDiameterResult",
     "SubdividedGraph",
     "build_odd_diameter_shortcut",

@@ -243,20 +243,25 @@ def build_kogan_parter_shortcut(
                 # edge, so the union is simply the whole edge set.
                 ids.update(range(m))
                 continue
+            # The paper's step 2 is performed by nodes u outside S_i; if u
+            # happens to be inside, the edge is already present from step 1
+            # so adding it again changes nothing.  The per-repetition draws
+            # stay independent Bernoulli(p) vectors (one RNG call each, so
+            # seeded streams are unchanged); their union is reduced to edge
+            # ids vectorized and inserted in one pass.
+            union = np.zeros(num_directed, dtype=bool)
             for rep in range(params.repetitions):
                 if p >= 1.0:
-                    sampled = np.arange(num_directed, dtype=np.int64)
+                    drawn = np.ones(num_directed, dtype=bool)
                 else:
-                    sampled = np.flatnonzero(np_rng.random(num_directed) < p)
-                # The paper's step 2 is performed by nodes u outside S_i; if
-                # u happens to be inside, the edge is already present from
-                # step 1 so adding it again changes nothing.
-                ids.update((sampled >> 1).tolist())
+                    drawn = np_rng.random(num_directed) < p
+                union |= drawn
                 if repetition_edges is not None:
                     rep_set = repetition_edges[part_idx][rep]
-                    for d in sampled.tolist():
+                    for d in np.flatnonzero(drawn).tolist():
                         u, v = edge_list[d >> 1]
                         rep_set.add((u, v) if d % 2 == 0 else (v, u))
+            ids.update(np.flatnonzero(union[0::2] | union[1::2]).tolist())
 
     shortcut = Shortcut.from_edge_ids(partition, subgraph_ids)
     return KoganParterResult(

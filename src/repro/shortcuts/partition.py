@@ -41,6 +41,10 @@ class Partition:
         for idx, part in enumerate(self._parts):
             for v in part:
                 self._owner[v] = idx
+        # Leaders are immutable (the parts are frozen), so compute them once:
+        # hot driver loops ask for them per part per round, and re-scanning
+        # max(part) each call is O(|part|) for a constant-time question.
+        self._leaders: list[int] = [max(part) for part in self._parts]
 
     # ------------------------------------------------------------------
     @property
@@ -81,13 +85,14 @@ class Partition:
 
         The paper (following [GH16]) identifies each part by the id of its
         maximum-id node; the distributed construction assumes every member
-        knows this id.
+        knows this id.  Leaders are precomputed in ``__init__``, so this is
+        a list lookup.
         """
-        return max(self._parts[index])
+        return self._leaders[index]
 
     def leaders(self) -> list[int]:
-        """Return the leader of every part, in part order."""
-        return [self.leader(i) for i in range(len(self._parts))]
+        """Return the leader of every part, in part order (cached)."""
+        return list(self._leaders)
 
     def part_edges(self, index: int) -> list[tuple[int, int]]:
         """Return the edges of the induced subgraph ``G[S_index]`` (canonical form)."""

@@ -188,6 +188,18 @@ class Shortcut:
         """Return the edge ids of ``H_index`` (ids refer to ``graph.csr()``)."""
         return set(self._subgraph_ids[index])
 
+    def subgraph_edge_id_array(self, index: int):
+        """Return the edge ids of ``H_index`` as a numpy ``int64`` array.
+
+        The copy-free companion of :meth:`subgraph_edge_ids` for vectorized
+        consumers (the distributed driver builds its per-part CSR link masks
+        from these).
+        """
+        import numpy as np
+
+        ids = self._subgraph_ids[index]
+        return np.fromiter(ids, dtype=np.int64, count=len(ids))
+
     def augmented_edge_ids(self, index: int) -> set[int]:
         """Return the edge ids of ``G[S_index] ∪ H_index``."""
         return self._part_edge_ids(index) | self._subgraph_ids[index]

@@ -99,10 +99,17 @@ def is_valid_shortcut(
     *,
     max_congestion: Optional[float] = None,
     max_dilation: Optional[float] = None,
+    exact_dilation: bool = True,
 ) -> bool:
-    """Return ``True`` if :func:`verify_shortcut` reports no violations."""
+    """Return ``True`` if :func:`verify_shortcut` reports no violations.
+
+    ``exact_dilation`` is forwarded to :func:`verify_shortcut`, so
+    large-instance callers can opt into the cheap 2-approximation instead
+    of the all-pairs measurement.
+    """
     return verify_shortcut(
         shortcut,
         max_congestion=max_congestion,
         max_dilation=max_dilation,
+        exact_dilation=exact_dilation,
     ).valid

@@ -147,6 +147,17 @@ class TestExperimentRunners:
         assert t.column("spanning")[0] is True
         assert t.column("rounds")[0] > 0
 
+    def test_distributed_scale_experiment(self):
+        from repro.analysis import run_distributed_scale_experiment
+
+        t = run_distributed_scale_experiment(sizes=(200,), seed=1)
+        assert t.experiment_id == "E13"
+        assert t.column("spanning")[0] is True
+        assert t.column("rounds")[0] > 0
+        assert t.column("probe_rounds")[0] > 0  # unknown diameter by default
+        assert 1 <= t.column("guesses")[0] <= 2
+        assert t.column("bfs_messages")[0] > 0
+
     def test_mst_experiment(self):
         t = run_mst_experiment(sizes=(80,), seed=1)
         assert t.column("weight_matches_kruskal")[0] is True

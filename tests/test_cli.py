@@ -65,6 +65,50 @@ class TestShortcutCommand:
         assert isinstance(loaded, Shortcut)
         assert loaded.num_parts > 0
 
+    def test_save_round_trip_preserves_edges(self, tmp_path, capsys):
+        # Full fidelity round trip: the reloaded shortcut has exactly the
+        # per-part edge sets the saved one had.
+        from repro.analysis.experiments import make_workload
+        from repro.shortcuts import build_kogan_parter_shortcut
+
+        out_file = tmp_path / "sc.json"
+        code = main([
+            "shortcut", "--n", "120", "-D", "4", "--workload", "lower_bound",
+            "--seed", "1", "--save", str(out_file),
+        ])
+        assert code == 0
+        loaded = load_json(out_file)
+        workload = make_workload("lower_bound", 120, 4, seed=1)
+        expected = build_kogan_parter_shortcut(
+            workload.graph, workload.partition, diameter_value=workload.diameter,
+            log_factor=0.25, rng=1,
+        ).shortcut
+        assert loaded.num_parts == expected.num_parts
+        for i in range(expected.num_parts):
+            assert loaded.subgraph_edges(i) == expected.subgraph_edges(i)
+
+    def test_distributed_engine_reports_rounds(self, capsys):
+        code = main([
+            "shortcut", "--n", "100", "-D", "4", "--workload", "lower_bound",
+            "--engine", "distributed", "--seed", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total rounds" in out
+        assert "rounds[concurrent_bfs]" in out
+        assert "attempted guesses: [4]" in out
+
+    def test_distributed_engine_unknown_diameter(self, tmp_path, capsys):
+        out_file = tmp_path / "sc.json"
+        code = main([
+            "shortcut", "--n", "100", "-D", "4", "--workload", "lower_bound",
+            "--engine", "distributed", "--unknown-diameter", "--seed", "2",
+            "--save", str(out_file),
+        ])
+        assert code == 0
+        loaded = load_json(out_file)
+        assert isinstance(loaded, Shortcut)
+
 
 class TestMSTCommand:
     def test_mst_run_reports_match(self, capsys):
@@ -82,3 +126,13 @@ class TestExperimentsCommand:
         out = capsys.readouterr().out
         assert "E11" in out
         assert "repetitions" in out
+
+
+class TestUnknownDiameterFlag:
+    def test_rejected_for_non_distributed_engines(self, capsys):
+        code = main([
+            "shortcut", "--n", "100", "-D", "4", "--engine", "kogan-parter",
+            "--unknown-diameter",
+        ])
+        assert code == 2
+        assert "--engine distributed" in capsys.readouterr().err

@@ -151,3 +151,55 @@ class TestFileHelpers:
         g = read_edge_list(path)
         assert g.num_vertices == 3
         assert g.num_edges == 2
+
+
+class TestMalformedEdgeLists:
+    """Corpus of malformed files: every row problem must surface as a
+    ValueError naming the offending line — never an IndexError from the
+    vertex-count inference (the seed bug: a one-field row crashed with
+    ``IndexError`` before any validation ran)."""
+
+    def test_one_field_row_is_value_error(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n7\n1 2\n")
+        with pytest.raises(ValueError, match=r"line 2.*'7'"):
+            read_edge_list(path)
+
+    def test_one_field_row_without_header(self, tmp_path):
+        # The seed crash path: no header, so the vertex-count inference
+        # indexed row[1] on the short row.
+        path = tmp_path / "edges.txt"
+        path.write_text("7\n")
+        with pytest.raises(ValueError, match="bad edge row"):
+            read_edge_list(path)
+
+    def test_four_field_row_rejected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n1 2 3.5 9\n")
+        with pytest.raises(ValueError, match="line 2"):
+            read_edge_list(path)
+
+    def test_non_numeric_vertex_rejected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\na b\n")
+        with pytest.raises(ValueError, match=r"non-numeric.*line 2"):
+            read_edge_list(path)
+
+    def test_non_numeric_weight_rejected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1 heavy\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            read_edge_list(path)
+
+    def test_mixed_weighted_unweighted_rejected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1 2.5\n1 2\n")
+        with pytest.raises(ValueError, match="mixed"):
+            read_edge_list(path)
+
+    def test_blank_lines_and_comments_still_fine(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# vertices 4\n\n0 1\n# a comment\n2 3\n")
+        g = read_edge_list(path)
+        assert g.num_vertices == 4
+        assert g.num_edges == 2

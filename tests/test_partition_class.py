@@ -61,6 +61,20 @@ class TestLeaders:
         assert p.leader(1) == 7
         assert p.leaders() == [2, 7]
 
+    def test_leaders_cached_not_rescanned(self):
+        # Leaders are computed once in __init__; hot driver loops call
+        # leader() per part per round and must not pay an O(|part|) max()
+        # scan each time.
+        g = cycle_graph(10)
+        p = Partition(g, [{0, 1, 2}, {5, 6, 7}])
+        assert p._leaders == [2, 7]
+        p._leaders[0] = 99  # simulate: cached value is what leader() returns
+        assert p.leader(0) == 99
+        # leaders() hands out a copy, so callers cannot corrupt the cache
+        p2 = Partition(g, [{0, 1, 2}])
+        p2.leaders().append(123)
+        assert p2.leaders() == [2]
+
 
 class TestPartEdgesAndDiameter:
     def test_part_edges(self):

@@ -69,3 +69,27 @@ class TestIsValidShortcut:
 
     def test_false_case(self):
         assert not is_valid_shortcut(make_simple_shortcut(), max_dilation=2)
+
+    def test_exact_dilation_threaded_through(self):
+        # The knob must reach verify_shortcut (the seed wrapper dropped it,
+        # so large-instance callers could not opt into the cheap
+        # 2-approximation).
+        sc = make_simple_shortcut()
+        calls = {}
+        import repro.shortcuts.verification as verification
+
+        original = verification.verify_shortcut
+
+        def spy(shortcut, **kwargs):
+            calls.update(kwargs)
+            return original(shortcut, **kwargs)
+
+        verification.verify_shortcut, saved = spy, verification.verify_shortcut
+        try:
+            assert is_valid_shortcut(sc, exact_dilation=False)
+        finally:
+            verification.verify_shortcut = saved
+        assert calls["exact_dilation"] is False
+
+    def test_exact_dilation_default_still_exact(self):
+        assert is_valid_shortcut(make_simple_shortcut(), exact_dilation=True)
