@@ -103,6 +103,36 @@ def _bench_distributed_pipeline() -> dict:
     }
 
 
+def _bench_mst_shortcut_1k() -> dict:
+    """Quick tier: the fully simulated shortcut-consumer Boruvka MST.
+
+    Every phase re-invokes the KP construction on the merged-part
+    partition and routes the MWOE aggregation over the shortcut-augmented
+    fragment trees (concurrent masked BFS + PartAggregation).  The weight
+    is checked against Kruskal so the benchmark doubles as an end-to-end
+    correctness canary.
+    """
+    from repro.applications.mst import kruskal_mst
+    from repro.applications.shortcut_mst import shortcut_boruvka_mst
+    from repro.graphs.generators import with_random_weights
+
+    inst = lower_bound_instance(1_000, 6)
+    weighted = with_random_weights(inst.graph, rng=3)
+    start = time.perf_counter()
+    result = shortcut_boruvka_mst(
+        weighted, engine="shortcut", diameter_value=6, log_factor=0.25, rng=3,
+    )
+    wall = time.perf_counter() - start
+    _, kruskal_weight = kruskal_mst(weighted)
+    return {
+        "wall_s": wall,
+        "n": weighted.num_vertices,
+        "phases": result.phases,
+        "rounds": result.total_rounds,
+        "weight_ok": abs(result.weight - kruskal_weight) < 1e-6,
+    }
+
+
 def _bench_congest_flood() -> dict:
     """Raw engine benchmark: a full-graph BFS flood on a lower-bound instance.
 
@@ -173,6 +203,41 @@ def _bench_leader_10k() -> dict:
         "n": g.num_vertices,
         "rounds": metrics.rounds,
         "messages": metrics.messages_delivered,
+    }
+
+
+def _bench_components_10k() -> dict:
+    """Shortcut-consumer connected components on 4 x 2.5k hub pieces.
+
+    Boruvka-style hooking with the per-phase label minimum routed through
+    PartAggregation over freshly sampled KP shortcuts; constant-diameter
+    pieces keep the sampling probability in the non-degenerate regime.
+    The label partition is checked against the sequential traversal.
+    """
+    from repro.applications.components import shortcut_connected_components
+    from repro.graphs.components import connected_components
+    from repro.graphs.generators import disjoint_union, hub_diameter_graph
+
+    graph = disjoint_union([
+        hub_diameter_graph(2_500, 6, extra_edge_prob=0.0016, rng=11 + i)
+        for i in range(4)
+    ])
+    start = time.perf_counter()
+    result = shortcut_connected_components(
+        graph, engine="shortcut", diameter_value=6, log_factor=0.25, rng=3,
+    )
+    wall = time.perf_counter() - start
+    by_label: dict[int, set] = {}
+    for v, label in enumerate(result.labels):
+        by_label.setdefault(label, set()).add(v)
+    labels_ok = sorted(by_label.values(), key=min) == connected_components(graph)
+    return {
+        "wall_s": wall,
+        "n": graph.num_vertices,
+        "components": result.num_components,
+        "phases": result.phases,
+        "rounds": result.total_rounds,
+        "labels_ok": labels_ok,
     }
 
 
@@ -427,6 +492,7 @@ CLASSIC_WORKLOADS: dict[str, Callable[[], dict]] = {
     "shortcut_trees_E9": _bench_shortcut_trees,
     "distributed_E5": _bench_distributed,
     "distributed_pipeline_1k": _bench_distributed_pipeline,
+    "mst_shortcut_1k": _bench_mst_shortcut_1k,
     "congest_flood": _bench_congest_flood,
 }
 
@@ -436,6 +502,7 @@ SCALE_WORKLOADS: dict[str, Callable[[], dict]] = {
     "leader_10k": _bench_leader_10k,
     "scheduler_10k": _bench_scheduler_10k,
     "distributed_10k": _bench_distributed_10k,
+    "components_10k": _bench_components_10k,
 }
 
 
@@ -556,6 +623,17 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     results = run_benchmarks(repeat=args.repeat, quick=args.quick)
+    # Workloads that double as correctness canaries (mst_shortcut_1k's
+    # Kruskal check, components_10k's label check, distributed spanning
+    # flags) report boolean fields; a falsy one fails the run regardless
+    # of timings — a perf gate must not print "ok" over wrong answers.
+    correctness_failures = [
+        f"{name}: {key} = {value!r}"
+        for name, entry in results.items()
+        for key, value in entry.items()
+        if (key.endswith("_ok") or key in ("spanning", "labels_ok", "weight_ok"))
+        and not value
+    ]
     report = {
         "date": datetime.date.today().isoformat(),
         "git_rev": _git_rev(),
@@ -580,6 +658,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         print("speedups vs baseline:", speedups)
 
     exit_code = 0
+    if correctness_failures:
+        print("CORRECTNESS FAILURE:")
+        for failure in correctness_failures:
+            print("  " + failure)
+        exit_code = 1
     if args.check_latest:
         latest = _latest_committed_bench()
         if latest is None:

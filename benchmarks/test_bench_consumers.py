@@ -1,0 +1,30 @@
+"""E14 — shortcut-routed vs raw part-tree aggregation (the consumer layer).
+
+Reproduces the headline of the applications layer: the same part-wise
+aggregation measured over Kogan-Parter augmented part trees and over the
+bare induced part trees.  On the worst-case long-path parts (broom handle,
+caterpillar spine, lower-bound paths) the shortcut routing must use
+strictly fewer simulated rounds, with identical aggregate values.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_aggregation_routing_experiment
+
+
+def test_bench_aggregation_routing(run_experiment):
+    table = run_experiment(
+        run_aggregation_routing_experiment,
+        part_sizes=(40, 80),
+        seed=59,
+    )
+    assert all(table.column("values_equal"))
+    shortcut_rounds = table.column("rounds_shortcut")
+    raw_rounds = table.column("rounds_raw")
+    assert all(s < r for s, r in zip(shortcut_rounds, raw_rounds))
+    # The broom/caterpillar speedup grows with the part size (raw pays the
+    # part length, the shortcut routing stays flat).
+    by_family: dict[str, list[float]] = {}
+    for family, speedup in zip(table.column("family"), table.column("speedup")):
+        by_family.setdefault(family, []).append(speedup)
+    assert by_family["broom"][-1] > by_family["broom"][0]

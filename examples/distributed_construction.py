@@ -19,8 +19,6 @@ Run with:  python examples/distributed_construction.py
 
 from __future__ import annotations
 
-import math
-
 from repro import Partition, build_distributed_kogan_parter, lower_bound_instance
 from repro.params import k_d_value, predicted_rounds_distributed
 

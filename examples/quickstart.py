@@ -15,8 +15,6 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-import math
-
 from repro import (
     Partition,
     build_ghaffari_haeupler_shortcut,

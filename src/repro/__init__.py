@@ -69,9 +69,12 @@ from .applications import (
     kruskal_mst,
     partwise_aggregate,
     shortcut_accelerated_sssp,
+    shortcut_boruvka_mst,
+    shortcut_connected_components,
     stoer_wagner_min_cut,
     two_ecss_approximation,
 )
+from .graphs import GENERATOR_FAMILIES, make_family_graph
 
 __version__ = "1.0.0"
 
@@ -108,7 +111,11 @@ __all__ = [
     "kruskal_mst",
     "partwise_aggregate",
     "shortcut_accelerated_sssp",
+    "shortcut_boruvka_mst",
+    "shortcut_connected_components",
     "stoer_wagner_min_cut",
     "two_ecss_approximation",
+    "GENERATOR_FAMILIES",
+    "make_family_graph",
     "__version__",
 ]

@@ -27,7 +27,7 @@ from __future__ import annotations
 import math
 import statistics
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence
 
 from ..applications.mincut import approximate_min_cut, stoer_wagner_min_cut
 from ..applications.mst import boruvka_mst, default_shortcut_factory, kruskal_mst
@@ -43,7 +43,6 @@ from ..graphs.generators import (
 from ..graphs.graph import Graph, WeightedGraph
 from ..graphs.lower_bound import lower_bound_instance
 from ..graphs.partitions import path_partition, random_connected_partition, singleton_free
-from ..graphs.traversal import diameter as graph_diameter
 from ..params import (
     elkin_lower_bound,
     ghaffari_haeupler_quality,
@@ -65,7 +64,7 @@ from ..shortcuts.partition import Partition
 from ..shortcuts.shortcut_trees import ShortcutTree
 from ..graphs.traversal import shortest_path
 
-from ..rng import RandomLike, ensure_rng
+from ..rng import ensure_rng
 
 
 # ----------------------------------------------------------------------
@@ -745,6 +744,7 @@ def run_all_experiments(*, fast: bool = True, seed: int = 1) -> list[ExperimentT
             "E11": {"n": 200, "seed": seed},
             "E12": {"n": 200, "seed": seed},
             "E13": {"sizes": (400,), "seed": seed},
+            "E14": {"part_sizes": (30, 60), "seed": seed},
         }
     else:
         overrides = {key: {} for key in EXPERIMENT_RUNNERS}
@@ -972,7 +972,84 @@ def run_distributed_scale_experiment(
     return table
 
 
+# ----------------------------------------------------------------------
+# E14: shortcut-routed vs raw part-tree aggregation
+# ----------------------------------------------------------------------
+def run_aggregation_routing_experiment(
+    *,
+    part_sizes: Sequence[int] = (40, 80, 160),
+    families: Sequence[str] = ("broom", "caterpillar", "lower_bound"),
+    log_factor: float = 1.0,
+    seed: int = 59,
+) -> ExperimentTable:
+    """E14: rounds of one part-wise aggregation, shortcut-routed vs raw trees.
+
+    The quantity Theorem 1.1 is *for*: the same part-wise min aggregation
+    (the MWOE/hooking step of every consumer phase) is executed twice on
+    the CONGEST simulator — once over Kogan-Parter augmented part trees,
+    once over the bare induced part trees — and the measured two-stage
+    rounds are compared.  Workloads are the worst-case long-path parts: a
+    broom handle and a caterpillar spine embedded in a constant-diameter
+    hub host, and the Elkin/Das-Sarma lower-bound instance with its
+    canonical path parts.
+    """
+    from ..congest.primitives.aggregation import aggregate_over_shortcut
+    from ..graphs.generators import broom_graph, caterpillar_graph
+
+    table = ExperimentTable(
+        experiment_id="E14",
+        title="Part-wise aggregation rounds: shortcut-routed vs raw part trees",
+        headers=[
+            "family", "n", "part_size", "D", "rounds_shortcut", "rounds_raw",
+            "speedup", "values_equal",
+        ],
+        notes=[
+            f"log_factor={log_factor}, seed={seed}; rounds are the measured "
+            "two-stage fleet (concurrent masked BFS + PartAggregation "
+            "convergecast/broadcast), op=min over node ids",
+        ],
+    )
+    for family in families:
+        for size in part_sizes:
+            if family == "broom":
+                graph = broom_graph(size, max(1, size // 2), hub=True)
+                parts = [set(range(size))]
+                diameter_value = 4
+            elif family == "caterpillar":
+                graph = caterpillar_graph(size, 1, hub=True)
+                parts = [set(range(size))]
+                diameter_value = 4
+            elif family == "lower_bound":
+                inst = lower_bound_instance(size * 5, 6)
+                graph = inst.graph
+                parts = inst.parts
+                diameter_value = inst.diameter
+            else:
+                raise ValueError(f"unknown E14 family {family!r}")
+            partition = Partition(graph, parts, validate=False)
+            shortcut = build_kogan_parter_shortcut(
+                graph, partition, diameter_value=diameter_value,
+                log_factor=log_factor, rng=seed,
+            ).shortcut
+            raw = build_empty_shortcut(graph, partition)
+            values = {v: v for v in partition.covered_vertices()}
+            routed = aggregate_over_shortcut(shortcut, values, "min", rng=seed + 1)
+            bare = aggregate_over_shortcut(raw, values, "min", rng=seed + 1)
+            table.add_row(
+                family,
+                graph.num_vertices,
+                max(len(p) for p in parts),
+                diameter_value,
+                routed.rounds,
+                bare.rounds,
+                round(bare.rounds / max(routed.rounds, 1), 2),
+                routed.values == bare.values,
+            )
+    return table
+
+
 EXPERIMENT_RUNNERS["E10"] = run_distributed_mst_experiment
 EXPERIMENT_RUNNERS["E11"] = run_repetition_ablation
 EXPERIMENT_RUNNERS["E12"] = run_probability_ablation
+EXPERIMENT_RUNNERS["E14"] = run_aggregation_routing_experiment
 EXPERIMENT_RUNNERS["E13"] = run_distributed_scale_experiment

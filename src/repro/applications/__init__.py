@@ -7,6 +7,7 @@ application experiments (E6-E8) measure by swapping shortcut engines.
 """
 
 from .aggregation import AggregationResult, estimate_aggregation_rounds, partwise_aggregate
+from .components import ComponentsResult, shortcut_connected_components
 from .distributed_mst import DistributedMSTResult, distributed_boruvka_mst
 from .mincut import (
     MinCutResult,
@@ -20,6 +21,12 @@ from .mst import (
     boruvka_mst,
     default_shortcut_factory,
     kruskal_mst,
+)
+from .shortcut_mst import (
+    CONSUMER_ENGINES,
+    NO_CANDIDATE,
+    ShortcutMSTResult,
+    shortcut_boruvka_mst,
 )
 from .sssp import (
     SSSPResult,
@@ -39,6 +46,12 @@ __all__ = [
     "AggregationResult",
     "estimate_aggregation_rounds",
     "partwise_aggregate",
+    "ComponentsResult",
+    "shortcut_connected_components",
+    "CONSUMER_ENGINES",
+    "NO_CANDIDATE",
+    "ShortcutMSTResult",
+    "shortcut_boruvka_mst",
     "DistributedMSTResult",
     "distributed_boruvka_mst",
     "MSTResult",

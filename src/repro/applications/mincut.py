@@ -30,13 +30,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Optional
 
-from ..graphs.components import UnionFind
 from ..graphs.graph import WeightedGraph, edge_key
-from .mst import MSTResult, ShortcutFactory, boruvka_mst, default_shortcut_factory
+from .mst import ShortcutFactory, boruvka_mst, default_shortcut_factory
 
-from ..rng import RandomLike, ensure_rng
+from ..rng import RandomLike
 
 
 @dataclass

@@ -27,7 +27,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..graphs.components import UnionFind, components_from_edges
+from ..graphs.components import UnionFind
 from ..graphs.graph import WeightedGraph, edge_key
 from ..shortcuts.kogan_parter import build_kogan_parter_shortcut
 from ..shortcuts.partition import Partition

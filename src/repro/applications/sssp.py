@@ -29,11 +29,10 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..graphs.graph import WeightedGraph
-from ..shortcuts.partition import Partition
 from ..shortcuts.shortcut import QualityReport, Shortcut
 from .aggregation import estimate_aggregation_rounds
 

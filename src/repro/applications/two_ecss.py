@@ -28,8 +28,7 @@ from typing import Optional
 
 from ..graphs.graph import Graph, WeightedGraph, edge_key
 from ..graphs.traversal import bfs_tree
-from .aggregation import estimate_aggregation_rounds
-from .mst import MSTResult, ShortcutFactory, boruvka_mst, default_shortcut_factory
+from .mst import ShortcutFactory, boruvka_mst, default_shortcut_factory
 
 
 @dataclass

@@ -9,7 +9,14 @@ writing a script:
                     engine and print its quality report (optionally save it
                     as JSON);
 * ``mst``         — run Boruvka-over-shortcuts on a generated weighted
-                    workload and report rounds / weight vs Kruskal;
+                    workload and report rounds / weight vs Kruskal
+                    (``--engine shortcut``/``raw`` run the fully simulated
+                    consumer, ``analytic`` the charged-cost model);
+* ``components``  — run the simulated connected-components consumer on a
+                    multi-piece workload and check its labels;
+* ``generate``    — build a graph of a named family (``repro generate
+                    --family broom ...``), print its stats, optionally save
+                    it as JSON;
 * ``experiments`` — run one or all of the EXPERIMENTS.md tables.
 
 Every command takes ``--seed`` and is deterministic.
@@ -23,9 +30,18 @@ from typing import Optional, Sequence
 
 from . import io as repro_io
 from .analysis.experiments import EXPERIMENT_RUNNERS, make_workload, run_all_experiments
-from .applications.aggregation import estimate_aggregation_rounds
+from .applications.components import shortcut_connected_components
 from .applications.mst import boruvka_mst, default_shortcut_factory, kruskal_mst
-from .graphs.generators import with_random_weights
+from .applications.shortcut_mst import CONSUMER_ENGINES, shortcut_boruvka_mst
+from .graphs.components import connected_components
+from .graphs.generators import (
+    GENERATOR_FAMILIES,
+    disjoint_union,
+    make_family_graph,
+    with_random_weights,
+)
+from .graphs.graph import Graph
+from .graphs.traversal import is_connected, max_component_diameter
 from .params import (
     elkin_lower_bound,
     ghaffari_haeupler_quality,
@@ -81,8 +97,33 @@ def build_parser() -> argparse.ArgumentParser:
     mst.add_argument("--n", type=int, default=300)
     mst.add_argument("--diameter", "-D", type=int, default=6)
     mst.add_argument("--workload", choices=("hub", "lower_bound", "cluster"), default="hub")
+    mst.add_argument("--engine", choices=("analytic",) + CONSUMER_ENGINES, default="analytic",
+                     help="'analytic' charges rounds from the shortcut quality; "
+                          "'shortcut'/'raw' run the fully simulated consumer "
+                          "(aggregation routed over KP-augmented vs bare "
+                          "fragment trees)")
     mst.add_argument("--log-factor", type=float, default=0.25)
     mst.add_argument("--seed", type=int, default=0)
+
+    components = sub.add_parser(
+        "components", help="run the simulated connected-components consumer"
+    )
+    components.add_argument("--n", type=int, default=240,
+                            help="approximate vertices per piece")
+    components.add_argument("--pieces", type=int, default=3,
+                            help="number of disconnected pieces")
+    components.add_argument("--family", choices=sorted(GENERATOR_FAMILIES), default="torus")
+    components.add_argument("--engine", choices=CONSUMER_ENGINES, default="shortcut")
+    components.add_argument("--log-factor", type=float, default=0.25)
+    components.add_argument("--seed", type=int, default=0)
+
+    generate = sub.add_parser("generate", help="build a graph of a named family")
+    generate.add_argument("--family", choices=sorted(GENERATOR_FAMILIES), required=True)
+    generate.add_argument("--n", type=int, default=200)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--weighted", action="store_true",
+                          help="attach unique random edge weights")
+    generate.add_argument("--save", help="write the graph to this JSON file")
 
     experiments = sub.add_parser("experiments", help="run EXPERIMENTS.md tables")
     experiments.add_argument("--experiment", choices=sorted(EXPERIMENT_RUNNERS),
@@ -173,18 +214,74 @@ def _command_shortcut(args: argparse.Namespace) -> int:
 def _command_mst(args: argparse.Namespace) -> int:
     workload = make_workload(args.workload, args.n, args.diameter, seed=args.seed)
     weighted = with_random_weights(workload.graph, rng=args.seed + 1)
-    factory = default_shortcut_factory(
-        diameter_value=workload.diameter, log_factor=args.log_factor, rng=args.seed
-    )
-    result = boruvka_mst(weighted, shortcut_factory=factory)
     _, kruskal_weight = kruskal_mst(weighted)
     print(f"workload        : {workload.name} (n={weighted.num_vertices}, D={workload.diameter})")
+    print(f"engine          : {args.engine}")
+    if args.engine == "analytic":
+        factory = default_shortcut_factory(
+            diameter_value=workload.diameter, log_factor=args.log_factor, rng=args.seed
+        )
+        result = boruvka_mst(weighted, shortcut_factory=factory)
+        rounds_label = "charged rounds  "
+    else:
+        result = shortcut_boruvka_mst(
+            weighted, engine=args.engine, diameter_value=workload.diameter,
+            log_factor=args.log_factor, rng=args.seed,
+        )
+        rounds_label = "simulated rounds"
     print(f"MST weight      : {result.weight:.2f}")
     print(f"Kruskal weight  : {kruskal_weight:.2f}")
     print(f"weights match   : {abs(result.weight - kruskal_weight) < 1e-6}")
     print(f"phases          : {result.phases}")
-    print(f"charged rounds  : {result.total_rounds}")
+    print(f"{rounds_label}: {result.total_rounds}")
     print(f"rounds per phase: {result.rounds_per_phase}")
+    return 0
+
+
+def _disjoint_union_workload(family: str, n: int, pieces: int, seed: int) -> Graph:
+    """A graph of ``pieces`` disjoint blocks of the named family."""
+    return disjoint_union(
+        [make_family_graph(family, n, rng=seed + 17 * i) for i in range(pieces)]
+    )
+
+
+def _command_components(args: argparse.Namespace) -> int:
+    if args.pieces < 1:
+        print("error: --pieces must be at least 1", file=sys.stderr)
+        return 2
+    graph = _disjoint_union_workload(args.family, args.n, args.pieces, args.seed)
+    result = shortcut_connected_components(
+        graph, engine=args.engine, log_factor=args.log_factor, rng=args.seed,
+    )
+    expected = connected_components(graph)
+    got = sorted(
+        ({v for v, lab in enumerate(result.labels) if lab == label}
+         for label in set(result.labels)),
+        key=min,
+    )
+    print(f"workload        : {args.pieces} x {args.family} "
+          f"(n={graph.num_vertices}, m={graph.num_edges})")
+    print(f"engine          : {args.engine}")
+    print(f"components      : {result.num_components}")
+    print(f"labels match    : {got == expected}")
+    print(f"phases          : {result.phases}")
+    print(f"simulated rounds: {result.total_rounds}")
+    print(f"rounds per phase: {result.rounds_per_phase}")
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    graph = make_family_graph(args.family, args.n, rng=args.seed)
+    if args.weighted:
+        graph = with_random_weights(graph, rng=args.seed + 1)
+    print(f"family          : {args.family}")
+    print(f"vertices        : {graph.num_vertices}")
+    print(f"edges           : {graph.num_edges}")
+    print(f"connected       : {is_connected(graph)}")
+    print(f"diameter        : {max_component_diameter(graph)}")
+    if args.save:
+        repro_io.save_json(graph, args.save)
+        print(f"saved to {args.save}")
     return 0
 
 
@@ -207,6 +304,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "info": _command_info,
         "shortcut": _command_shortcut,
         "mst": _command_mst,
+        "components": _command_components,
+        "generate": _command_generate,
         "experiments": _command_experiments,
     }
     return handlers[args.command](args)

@@ -39,7 +39,7 @@ consumed).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Optional
+from typing import Optional
 
 from .message import Message
 from .node import NodeContext

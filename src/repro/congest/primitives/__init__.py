@@ -2,6 +2,14 @@
 fleets), leader election, tree aggregation, pipelined numbering, spanning
 verification, diameter estimation and their read-back helpers."""
 
+from .aggregation import (
+    FleetAggregationResult,
+    PartAggregation,
+    ShortcutAggregationResult,
+    aggregate_over_shortcut,
+    run_part_aggregation,
+    shortcut_link_masks,
+)
 from .bfs import DistributedBFS, extract_bfs_tree
 from .concurrent_bfs import ConcurrentMaskedBFS
 from .diameter import make_diameter_estimation, read_diameter_estimate
@@ -11,6 +19,12 @@ from .spanning import PartwiseFlagConvergecast
 from .trees import AGGREGATE_OPS, TreeAggregate, read_aggregate
 
 __all__ = [
+    "FleetAggregationResult",
+    "PartAggregation",
+    "ShortcutAggregationResult",
+    "aggregate_over_shortcut",
+    "run_part_aggregation",
+    "shortcut_link_masks",
     "DistributedBFS",
     "extract_bfs_tree",
     "ConcurrentMaskedBFS",

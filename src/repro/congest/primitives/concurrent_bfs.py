@@ -58,6 +58,11 @@ from ..node import NodeContext
 UNREACHED = -1
 
 
+def _unreached() -> int:
+    """Default factory for the sparse label containers."""
+    return UNREACHED
+
+
 class ConcurrentMaskedBFS(DistributedAlgorithm):
     """Run many single-source truncated BFS instances under random delays.
 
@@ -97,6 +102,7 @@ class ConcurrentMaskedBFS(DistributedAlgorithm):
         num_vertices: int,
         *,
         suppress_parent_echo: bool = False,
+        sparse_labels: bool = False,
     ) -> None:
         if not (len(sources) == len(masks) == len(delays) == len(prefixes)):
             raise ValueError("sources, masks, delays and prefixes must align")
@@ -109,9 +115,21 @@ class ConcurrentMaskedBFS(DistributedAlgorithm):
         self.suppress_parent_echo = suppress_parent_echo
         n = num_vertices
         num = len(self.sources)
-        self.dist: list[list[int]] = [[UNREACHED] * n for _ in range(num)]
-        self.parent: list[list[int]] = [[UNREACHED] * n for _ in range(num)]
-        self.root: list[list[int]] = [[UNREACHED] * n for _ in range(num)]
+        if sparse_labels:
+            # Fleets of many small instances (the shortcut-consumer Boruvka
+            # phases run one instance per fragment) would pay O(num · n)
+            # memory for dense labels; defaultdicts grow with the touched
+            # set instead.  The message schedule is unchanged — only the
+            # label container differs.
+            from collections import defaultdict
+
+            self.dist = [defaultdict(_unreached) for _ in range(num)]
+            self.parent = [defaultdict(_unreached) for _ in range(num)]
+            self.root = [defaultdict(_unreached) for _ in range(num)]
+        else:
+            self.dist = [[UNREACHED] * n for _ in range(num)]
+            self.parent = [[UNREACHED] * n for _ in range(num)]
+            self.root = [[UNREACHED] * n for _ in range(num)]
         # Only sources ever act on a start delay; everyone else is purely
         # message-driven.  node -> ascending [(delay, instance), ...].
         pending: dict[int, list[tuple[int, int]]] = {}

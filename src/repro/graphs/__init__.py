@@ -29,19 +29,27 @@ from .csr import (
     component_labels,
 )
 from .generators import (
+    GENERATOR_FAMILIES,
     binary_tree_graph,
+    broom_graph,
+    caterpillar_graph,
     cluster_star_graph,
     complete_bipartite_graph,
     complete_graph,
     cycle_graph,
+    disjoint_union,
     erdos_renyi_graph,
     grid_graph,
     hub_diameter_graph,
     layered_diameter_graph,
+    make_family_graph,
     path_graph,
     planted_cut_graph,
+    preferential_attachment_graph,
     random_connected_graph,
+    random_regular_graph,
     star_graph,
+    torus_graph,
     with_random_weights,
 )
 from .graph import Graph, Subgraph, WeightedGraph, edge_key, union_subgraph
@@ -71,6 +79,7 @@ from .traversal import (
     distances_to_set,
     eccentricity,
     is_connected,
+    max_component_diameter,
     shortest_path,
 )
 
@@ -94,24 +103,33 @@ __all__ = [
     "distances_to_set",
     "eccentricity",
     "is_connected",
+    "max_component_diameter",
     "shortest_path",
     "UnionFind",
     "components_from_edges",
     "connected_components",
     "spanning_forest",
+    "GENERATOR_FAMILIES",
     "binary_tree_graph",
+    "broom_graph",
+    "caterpillar_graph",
     "cluster_star_graph",
     "complete_bipartite_graph",
     "complete_graph",
     "cycle_graph",
+    "disjoint_union",
     "erdos_renyi_graph",
     "grid_graph",
     "hub_diameter_graph",
     "layered_diameter_graph",
+    "make_family_graph",
     "path_graph",
     "planted_cut_graph",
+    "preferential_attachment_graph",
     "random_connected_graph",
+    "random_regular_graph",
     "star_graph",
+    "torus_graph",
     "with_random_weights",
     "LowerBoundInstance",
     "build_lower_bound_graph",

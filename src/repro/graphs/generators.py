@@ -18,7 +18,7 @@ integer seed) so that experiments are reproducible.
 
 from __future__ import annotations
 
-import random
+from typing import Callable
 
 from .graph import Graph, WeightedGraph
 from .traversal import diameter, diameter_lower_bound_double_sweep, is_connected
@@ -85,6 +85,103 @@ def binary_tree_graph(depth: int) -> Graph:
     return g
 
 
+def torus_graph(rows: int, cols: int) -> Graph:
+    """Return the ``rows x cols`` torus (grid with wraparound, 4-regular).
+
+    Vertex ``(r, c)`` has id ``r * cols + c``.  Both dimensions must be at
+    least 3 so the wraparound edges do not coincide with grid edges (which
+    would create parallel edges in a simple graph).
+    """
+    if rows < 3 or cols < 3:
+        raise ValueError("torus dimensions must be at least 3")
+    g = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            g.add_edge(v, r * cols + (c + 1) % cols)
+            g.add_edge(v, ((r + 1) % rows) * cols + c)
+    return g
+
+
+def caterpillar_graph(
+    spine_length: int,
+    legs_per_vertex: int = 1,
+    *,
+    hub: bool = False,
+) -> Graph:
+    """Return a caterpillar: a spine path with ``legs_per_vertex`` leaves each.
+
+    Spine vertices are ``0 .. spine_length - 1``; leaves get the following
+    ids, grouped by spine vertex.  Caterpillars (and brooms, see
+    :func:`broom_graph`) are the classic worst-case part shapes for part-wise
+    aggregation: the spine is a long induced path, so aggregation over the
+    raw part tree costs its full length.
+
+    Args:
+        spine_length: number of spine vertices (``>= 2``).
+        legs_per_vertex: leaves attached to every spine vertex.
+        hub: also add one extra vertex (the last id) adjacent to every spine
+            vertex.  A bare caterpillar is a tree of diameter
+            ``Theta(spine_length)`` — outside the paper's constant-diameter
+            regime, and with no chords a shortcut has nothing to route over.
+            The hub embeds the same adversarial part in a diameter-<=4 host,
+            which is the setting where Kogan-Parter shortcuts shorten it.
+    """
+    if spine_length < 2:
+        raise ValueError("caterpillar needs a spine of at least 2 vertices")
+    if legs_per_vertex < 0:
+        raise ValueError("legs_per_vertex must be non-negative")
+    n = spine_length * (1 + legs_per_vertex) + (1 if hub else 0)
+    g = Graph(n)
+    for i in range(spine_length - 1):
+        g.add_edge(i, i + 1)
+    leaf = spine_length
+    for i in range(spine_length):
+        for _ in range(legs_per_vertex):
+            g.add_edge(i, leaf)
+            leaf += 1
+    if hub:
+        for i in range(spine_length):
+            g.add_edge(n - 1, i)
+    return g
+
+
+def broom_graph(
+    handle_length: int,
+    bristles: int,
+    *,
+    hub: bool = False,
+) -> Graph:
+    """Return a broom: a handle path ending in a star of ``bristles`` leaves.
+
+    Handle vertices are ``0 .. handle_length - 1``; the bristle leaves hang
+    off vertex ``handle_length - 1``.  Like the caterpillar, the handle is a
+    long induced path — the worst case for raw part-tree aggregation.
+
+    Args:
+        handle_length: number of handle vertices (``>= 2``).
+        bristles: number of leaves at the far end.
+        hub: add one extra vertex (the last id) adjacent to every handle
+            vertex, embedding the broom in a diameter-<=4 host (see
+            :func:`caterpillar_graph` for why: a bare broom is a tree, and a
+            shortcut can only use edges the graph actually has).
+    """
+    if handle_length < 2:
+        raise ValueError("broom needs a handle of at least 2 vertices")
+    if bristles < 1:
+        raise ValueError("broom needs at least 1 bristle")
+    n = handle_length + bristles + (1 if hub else 0)
+    g = Graph(n)
+    for i in range(handle_length - 1):
+        g.add_edge(i, i + 1)
+    for leaf in range(handle_length, handle_length + bristles):
+        g.add_edge(handle_length - 1, leaf)
+    if hub:
+        for i in range(handle_length):
+            g.add_edge(n - 1, i)
+    return g
+
+
 # ----------------------------------------------------------------------
 # random graphs
 # ----------------------------------------------------------------------
@@ -113,6 +210,101 @@ def random_connected_graph(n: int, extra_edge_prob: float = 0.05, rng: RandomLik
         for v in range(u + 1, n):
             if not g.has_edge(u, v) and r.random() < extra_edge_prob:
                 g.add_edge(u, v)
+    return g
+
+
+def random_regular_graph(n: int, degree: int = 4, rng: RandomLike = None) -> Graph:
+    """Return a connected random ``degree``-regular graph (pairing model).
+
+    Random regular graphs of degree >= 3 are expanders with high
+    probability: logarithmic diameter, no sparse cuts — the benign end of
+    the workload spectrum for the shortcut experiments (parts stay shallow
+    no matter how they are carved).  The construction retries the pairing
+    until it yields a simple connected graph, which takes O(1) attempts in
+    expectation for constant degree.
+
+    Args:
+        n: number of vertices; ``n * degree`` must be even and
+            ``degree < n``.
+        degree: vertex degree (``>= 3`` for connectivity to hold w.h.p.).
+        rng: seed or Random.
+    """
+    if degree < 1 or degree >= n:
+        raise ValueError("need 1 <= degree < n")
+    if (n * degree) % 2:
+        raise ValueError("n * degree must be even")
+    r = _rng(rng)
+    for _attempt in range(200):
+        # Greedy pairing with leftover re-shuffling: pair shuffled stubs,
+        # keep the pairs that form new simple edges, re-shuffle the rest.
+        # Unlike whole-sample rejection (success probability
+        # ~exp(-(d^2-1)/4) per draw), this restarts O(1) times.
+        edges: set[tuple[int, int]] = set()
+        stubs = [v for v in range(n) for _ in range(degree)]
+        while stubs:
+            r.shuffle(stubs)
+            leftover: list[int] = []
+            for i in range(0, len(stubs), 2):
+                u, v = stubs[i], stubs[i + 1]
+                key = (u, v) if u < v else (v, u)
+                if u == v or key in edges:
+                    leftover.append(u)
+                    leftover.append(v)
+                else:
+                    edges.add(key)
+            if len(leftover) == len(stubs):
+                # No progress: the leftover stubs admit no new simple edge.
+                break
+            stubs = leftover
+        if stubs:
+            continue
+        g = Graph(n, sorted(edges))
+        if degree < 3 or is_connected(g):
+            return g
+    raise ValueError(
+        f"failed to sample a simple {degree}-regular graph on {n} vertices"
+    )
+
+
+def preferential_attachment_graph(n: int, attach: int = 2, rng: RandomLike = None) -> Graph:
+    """Return a Barabasi-Albert preferential-attachment graph.
+
+    Starts from a clique on ``attach + 1`` vertices; every later vertex
+    attaches to ``attach`` distinct existing vertices chosen with
+    probability proportional to their current degree.  The result is
+    connected, has a heavy-tailed degree distribution (a few hubs carry most
+    of the traffic) and logarithmic diameter — the "scale-free" scenario of
+    the workload sweep.
+
+    Args:
+        n: number of vertices (``> attach``).
+        attach: edges added per new vertex (``>= 1``).
+        rng: seed or Random.
+    """
+    if attach < 1:
+        raise ValueError("attach must be at least 1")
+    if n <= attach:
+        raise ValueError("need n > attach")
+    r = _rng(rng)
+    g = Graph(n)
+    # Degree-proportional sampling via the repeated-endpoints list: every
+    # endpoint of every edge appears once, so a uniform draw from the list
+    # is a draw proportional to degree.
+    endpoints: list[int] = []
+    seed_size = attach + 1
+    for u in range(seed_size):
+        for v in range(u + 1, seed_size):
+            g.add_edge(u, v)
+            endpoints.append(u)
+            endpoints.append(v)
+    for v in range(seed_size, n):
+        chosen: set[int] = set()
+        while len(chosen) < attach:
+            chosen.add(r.choice(endpoints))
+        for u in chosen:
+            g.add_edge(u, v)
+            endpoints.append(u)
+            endpoints.append(v)
     return g
 
 
@@ -329,6 +521,94 @@ def with_random_weights(
             w = round(w, 3) + idx * 1e-6
         wg.add_weighted_edge(u, v, w)
     return wg
+
+
+# ----------------------------------------------------------------------
+# named family registry (CLI `repro generate` and the family sweeps)
+# ----------------------------------------------------------------------
+def _family_expander(n: int, rng: RandomLike = None) -> Graph:
+    if n <= 5:
+        # Degenerate sizes: K_n is the (n-1)-regular "expander".
+        return complete_graph(n)
+    return random_regular_graph(n, 4, rng)
+
+
+def _family_preferential(n: int, rng: RandomLike = None) -> Graph:
+    return preferential_attachment_graph(n, attach=min(2, max(1, n - 2)), rng=rng)
+
+
+def _family_torus(n: int, rng: RandomLike = None) -> Graph:
+    side = max(3, round(n ** 0.5))
+    rows = max(3, n // side)
+    return torus_graph(rows, side)
+
+
+def _family_caterpillar(n: int, rng: RandomLike = None) -> Graph:
+    # One leg per spine vertex plus the hub host: spine ~ n / 2.
+    spine = max(2, (n - 1) // 2)
+    return caterpillar_graph(spine, legs_per_vertex=1, hub=True)
+
+
+def _family_broom(n: int, rng: RandomLike = None) -> Graph:
+    # Half handle, half bristles, plus the hub host.
+    handle = max(2, (n - 1) // 2)
+    bristles = max(1, n - 1 - handle)
+    return broom_graph(handle, bristles, hub=True)
+
+
+def _family_hub(n: int, rng: RandomLike = None) -> Graph:
+    if n < 4:
+        return complete_graph(n)
+    # hub_diameter_graph needs n >= target + 1 (and target >= 2).
+    target = min(6, max(2, n - 1))
+    extra = min(0.05, 4.0 / max(n, 1))
+    return hub_diameter_graph(n, target, extra_edge_prob=extra, rng=rng)
+
+
+#: Named graph families with a normalized ``(n, rng) -> Graph`` signature.
+#: Every family returns a connected graph with approximately ``n`` vertices
+#: (``torus`` rounds to a grid shape, ``caterpillar``/``broom`` to their
+#: structural split).  Used by ``repro generate`` and by the oracle sweeps
+#: that check the shortcut consumers on every family.
+GENERATOR_FAMILIES: dict[str, Callable[[int, RandomLike], Graph]] = {
+    "expander": _family_expander,
+    "preferential": _family_preferential,
+    "torus": _family_torus,
+    "caterpillar": _family_caterpillar,
+    "broom": _family_broom,
+    "hub": _family_hub,
+}
+
+
+def disjoint_union(blocks: "list[Graph]") -> Graph:
+    """Return the disjoint union of ``blocks`` on a shared vertex id space.
+
+    Block ``i``'s vertices are shifted by the total size of the blocks
+    before it.  This is the standard multi-component workload constructor
+    (the connected-components consumer and its benchmarks are the main
+    customers).
+    """
+    graph = Graph(sum(b.num_vertices for b in blocks))
+    offset = 0
+    for block in blocks:
+        for u, v in block.edges():
+            graph.add_edge(offset + u, offset + v)
+        offset += block.num_vertices
+    return graph
+
+
+def make_family_graph(family: str, n: int, rng: RandomLike = None) -> Graph:
+    """Build a graph of one of the :data:`GENERATOR_FAMILIES` (by name)."""
+    try:
+        builder = GENERATOR_FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown graph family {family!r}; "
+            f"choose from {sorted(GENERATOR_FAMILIES)}"
+        ) from None
+    if n < 2:
+        raise ValueError("family graphs need at least 2 vertices")
+    return builder(n, rng)
 
 
 def planted_cut_graph(

@@ -222,6 +222,41 @@ def diameter(
     return worst
 
 
+def max_component_diameter(graph: Graph, *, exact: bool = True) -> int:
+    """Return the largest diameter of any connected component of ``graph``.
+
+    This is the "effective" diameter the shortcut parameters use on a
+    possibly disconnected host (the connected-components consumer runs on
+    such graphs): shortcuts never route between components, so the relevant
+    ``D`` is the worst per-component hop diameter, not the global
+    :data:`INFINITY`.  An edgeless graph has effective diameter 0.
+
+    Args:
+        exact: with ``True`` every component pays an all-sources BFS
+            (O(n·m) total — fine for stats at CLI scale).  ``False`` runs
+            one double sweep per component instead (O(m) total), returning
+            a value in ``[D/2, D]`` — what the shortcut *parameter*
+            defaults use, mirroring the distributed pipeline's measured
+            BFS 2-approximation probe.
+    """
+    from .components import connected_components
+
+    worst = 0
+    for component in connected_components(graph):
+        if len(component) <= 1:
+            continue
+        members = set(component)
+        if exact:
+            d = diameter(graph, vertices=component, allowed=members)
+        else:
+            d = diameter_lower_bound_double_sweep(
+                graph, start=min(members), allowed=members
+            )
+        if d > worst:
+            worst = int(d)
+    return worst
+
+
 def diameter_lower_bound_double_sweep(
     graph: Graph,
     *,

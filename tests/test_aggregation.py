@@ -71,7 +71,6 @@ class TestEstimateRounds:
         assert rounds == int(q.congestion + q.dilation * 4)
 
     def test_infinite_dilation_charged_as_n(self):
-        from repro.graphs import path_graph
         from repro.shortcuts import QualityReport
 
         q = QualityReport(

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from repro.analysis import (
@@ -176,3 +174,28 @@ class TestExperimentRunners:
         t = run_shortcut_tree_experiment(sizes=(120,), trials=5, probabilities=(0.2, 0.8), seed=1)
         assert len(t.rows) == 2
         assert all(0 <= r <= 1 for r in t.column("success_rate"))
+
+
+class TestAggregationRoutingExperiment:
+    def test_e14_shortcut_beats_raw_on_worst_case(self):
+        from repro.analysis import run_aggregation_routing_experiment
+
+        t = run_aggregation_routing_experiment(part_sizes=(40,), seed=1)
+        assert t.experiment_id == "E14"
+        assert all(t.column("values_equal"))
+        # The acceptance pin: strictly fewer simulated rounds through the
+        # shortcut routing on the worst-case families (the broom rows are
+        # the canonical witnesses; all current families clear it).
+        shortcut_rounds = t.column("rounds_shortcut")
+        raw_rounds = t.column("rounds_raw")
+        families = t.column("family")
+        assert any(
+            s < r for s, r, f in zip(shortcut_rounds, raw_rounds, families)
+            if f == "broom"
+        )
+        assert all(s < r for s, r in zip(shortcut_rounds, raw_rounds))
+
+    def test_e14_registered(self):
+        from repro.analysis import EXPERIMENT_RUNNERS
+
+        assert "E14" in EXPERIMENT_RUNNERS

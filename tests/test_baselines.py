@@ -6,7 +6,7 @@ import math
 
 import pytest
 
-from repro.graphs import cluster_star_graph, hub_diameter_graph, lower_bound_instance, path_partition
+from repro.graphs import hub_diameter_graph, lower_bound_instance, path_partition
 from repro.shortcuts import (
     Partition,
     build_empty_shortcut,

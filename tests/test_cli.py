@@ -136,3 +136,90 @@ class TestUnknownDiameterFlag:
         ])
         assert code == 2
         assert "--engine distributed" in capsys.readouterr().err
+
+
+class TestMSTEngines:
+    @pytest.mark.parametrize("engine", ["shortcut", "raw"])
+    def test_simulated_engines_report_match(self, engine, capsys):
+        code = main([
+            "mst", "--n", "100", "-D", "6", "--workload", "hub",
+            "--engine", engine, "--seed", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"engine          : {engine}" in out
+        assert "weights match   : True" in out
+        assert "simulated rounds" in out
+
+    def test_analytic_engine_is_default(self, capsys):
+        code = main(["mst", "--n", "100", "-D", "6", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine          : analytic" in out
+        assert "charged rounds" in out
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mst", "--engine", "warp"])
+
+
+class TestComponentsCommand:
+    def test_reports_matching_labels(self, capsys):
+        code = main([
+            "components", "--n", "60", "--pieces", "3", "--family", "torus",
+            "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "components      : 3" in out
+        assert "labels match    : True" in out
+        assert "simulated rounds" in out
+
+    def test_raw_engine(self, capsys):
+        code = main([
+            "components", "--n", "50", "--pieces", "2", "--family", "expander",
+            "--engine", "raw", "--seed", "4",
+        ])
+        assert code == 0
+        assert "labels match    : True" in capsys.readouterr().out
+
+    def test_pieces_validated(self, capsys):
+        assert main(["components", "--pieces", "0"]) == 2
+        assert "--pieces" in capsys.readouterr().err
+
+
+class TestGenerateCommand:
+    def test_prints_stats(self, capsys):
+        code = main(["generate", "--family", "broom", "--n", "80", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "family          : broom" in out
+        assert "connected       : True" in out
+
+    def test_save_round_trips(self, tmp_path, capsys):
+        out_file = tmp_path / "torus.json"
+        code = main([
+            "generate", "--family", "torus", "--n", "60", "--seed", "1",
+            "--save", str(out_file),
+        ])
+        assert code == 0
+        from repro.graphs.graph import Graph
+
+        loaded = load_json(out_file)
+        assert isinstance(loaded, Graph)
+        assert all(loaded.degree(v) == 4 for v in loaded.vertices())
+
+    def test_weighted_save(self, tmp_path, capsys):
+        out_file = tmp_path / "wg.json"
+        code = main([
+            "generate", "--family", "expander", "--n", "40", "--seed", "2",
+            "--weighted", "--save", str(out_file),
+        ])
+        assert code == 0
+        from repro.graphs.graph import WeightedGraph
+
+        assert isinstance(load_json(out_file), WeightedGraph)
+
+    def test_family_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--n", "50"])

@@ -5,7 +5,10 @@ from __future__ import annotations
 import pytest
 
 from repro.graphs import (
+    GENERATOR_FAMILIES,
     binary_tree_graph,
+    broom_graph,
+    caterpillar_graph,
     cluster_star_graph,
     complete_bipartite_graph,
     complete_graph,
@@ -16,10 +19,14 @@ from repro.graphs import (
     hub_diameter_graph,
     is_connected,
     layered_diameter_graph,
+    make_family_graph,
     path_graph,
     planted_cut_graph,
+    preferential_attachment_graph,
     random_connected_graph,
+    random_regular_graph,
     star_graph,
+    torus_graph,
     with_random_weights,
 )
 
@@ -181,3 +188,117 @@ class TestWeightedGenerators:
             planted_cut_graph(1, 1)
         with pytest.raises(ValueError):
             planted_cut_graph(5, 0)
+
+
+class TestTorusGraph:
+    def test_four_regular(self):
+        g = torus_graph(4, 5)
+        assert g.num_vertices == 20
+        assert g.num_edges == 40
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_diameter(self):
+        # Torus diameter = floor(rows/2) + floor(cols/2).
+        assert diameter(torus_graph(4, 6)) == 2 + 3
+        assert diameter(torus_graph(3, 3)) == 2
+
+    def test_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            torus_graph(2, 5)
+        with pytest.raises(ValueError):
+            torus_graph(5, 2)
+
+
+class TestRandomRegularGraph:
+    @pytest.mark.parametrize("degree", [3, 4, 6])
+    def test_regular_and_connected(self, degree):
+        n = 40 if degree != 3 else 42
+        g = random_regular_graph(n, degree, rng=7)
+        assert all(g.degree(v) == degree for v in g.vertices())
+        assert is_connected(g)
+
+    def test_determinism(self):
+        assert random_regular_graph(30, 4, rng=5) == random_regular_graph(30, 4, rng=5)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 5)
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3)  # odd n * degree
+
+
+class TestPreferentialAttachmentGraph:
+    def test_connected_and_sized(self):
+        g = preferential_attachment_graph(80, attach=2, rng=3)
+        assert g.num_vertices == 80
+        # Seed clique K_3 plus 2 edges per later vertex.
+        assert g.num_edges == 3 + 2 * 77
+        assert is_connected(g)
+
+    def test_hubs_emerge(self):
+        g = preferential_attachment_graph(200, attach=2, rng=9)
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        assert degrees[0] >= 4 * degrees[len(degrees) // 2]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(2, 2)
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(10, 0)
+
+
+class TestWormGraphs:
+    def test_caterpillar_tree_shape(self):
+        g = caterpillar_graph(6, 2)
+        assert g.num_vertices == 6 * 3
+        assert g.num_edges == g.num_vertices - 1  # a tree
+        assert diameter(g) == 5 + 2  # leaf - spine - leaf
+
+    def test_broom_tree_shape(self):
+        g = broom_graph(8, 5)
+        assert g.num_vertices == 13
+        assert g.num_edges == 12
+        assert diameter(g) == 8  # far bristle to handle start
+
+    def test_hub_host_pins_diameter(self):
+        # The hub embeds the long induced path in a diameter-<=4 host
+        # (the paper's constant-diameter regime) without shortening the
+        # path itself.
+        g = broom_graph(40, 10, hub=True)
+        assert diameter(g) <= 4
+        handle = set(range(40))
+        assert diameter(g, vertices=handle, allowed=handle) == 39
+        c = caterpillar_graph(30, 1, hub=True)
+        assert diameter(c) <= 4
+        spine = set(range(30))
+        assert diameter(c, vertices=spine, allowed=spine) == 29
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            caterpillar_graph(1)
+        with pytest.raises(ValueError):
+            broom_graph(2, 0)
+
+
+class TestFamilyRegistry:
+    @pytest.mark.parametrize("family", sorted(GENERATOR_FAMILIES))
+    def test_every_family_connected_and_sized(self, family):
+        g = make_family_graph(family, 80, rng=11)
+        assert is_connected(g)
+        assert 40 <= g.num_vertices <= 100
+
+    @pytest.mark.parametrize("family", sorted(GENERATOR_FAMILIES))
+    def test_determinism(self, family):
+        assert make_family_graph(family, 50, rng=3) == make_family_graph(family, 50, rng=3)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            make_family_graph("nope", 50)
+
+    @pytest.mark.parametrize("family", sorted(GENERATOR_FAMILIES))
+    def test_small_n_does_not_crash(self, family):
+        # Degenerate sizes clamp instead of raising (the CLI exposes
+        # arbitrary --n values to every family).
+        for n in (2, 3, 5, 8):
+            g = make_family_graph(family, n, rng=1)
+            assert is_connected(g)

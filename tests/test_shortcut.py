@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from repro.graphs import INFINITY, cycle_graph, grid_graph, path_graph, star_graph

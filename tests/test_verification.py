@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.graphs import cycle_graph, path_graph
 from repro.shortcuts import (
     Partition,
