@@ -42,6 +42,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.analysis.experiments import (  # noqa: E402
+    run_all_experiments,
     run_congestion_experiment,
     run_distributed_experiment,
     run_shortcut_tree_experiment,
@@ -130,6 +131,40 @@ def _bench_mst_shortcut_1k() -> dict:
         "phases": result.phases,
         "rounds": result.total_rounds,
         "weight_ok": abs(result.weight - kruskal_weight) < 1e-6,
+    }
+
+
+def _bench_sweep_fast_parallel() -> dict:
+    """Quick tier: the full fast-tier E1-E14 sweep, sharded over 4 workers.
+
+    Times the parallel experiment runtime end to end (cell planning,
+    process-pool dispatch, ordered reduce) and re-runs the identical sweep
+    serially for two purposes: the recorded ``parallel_speedup`` tracks how
+    close the executor gets to the core count, and ``tables_ok`` is the
+    bit-identity canary — every table's deterministic rows must match the
+    serial run exactly, or the run fails as a correctness error.  On
+    single-core machines the speedup degrades to ~1x (pool overhead);
+    the canary still holds.
+    """
+    start = time.perf_counter()
+    parallel_tables = run_all_experiments(fast=True, seed=1, workers=4)
+    parallel_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    serial_tables = run_all_experiments(fast=True, seed=1, workers=1)
+    serial_wall = time.perf_counter() - start
+    tables_ok = len(parallel_tables) == len(serial_tables) and all(
+        p.experiment_id == s.experiment_id
+        and p.headers == s.headers
+        and p.deterministic_rows() == s.deterministic_rows()
+        for p, s in zip(parallel_tables, serial_tables)
+    )
+    return {
+        "wall_s": parallel_wall,
+        "serial_wall_s": round(serial_wall, 4),
+        "parallel_speedup": round(serial_wall / parallel_wall, 2) if parallel_wall else 0.0,
+        "workers": 4,
+        "tables": len(parallel_tables),
+        "tables_ok": tables_ok,
     }
 
 
@@ -493,6 +528,7 @@ CLASSIC_WORKLOADS: dict[str, Callable[[], dict]] = {
     "distributed_E5": _bench_distributed,
     "distributed_pipeline_1k": _bench_distributed_pipeline,
     "mst_shortcut_1k": _bench_mst_shortcut_1k,
+    "sweep_fast_parallel": _bench_sweep_fast_parallel,
     "congest_flood": _bench_congest_flood,
 }
 

@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
 """Regenerate every experiment table of EXPERIMENTS.md.
 
-Runs the full experiment harness (E1-E9, see DESIGN.md §5) and prints the
-result tables.  Pass ``--fast`` for the reduced parameter sets used in CI.
+Runs the full experiment harness (E1-E14, see DESIGN.md §5) and prints the
+result tables.  Pass ``--fast`` for the reduced parameter sets used in CI,
+``--workers N`` to shard the sweep cells over N processes (the tables are
+bit-identical to a serial run).
 
 Run with:  python examples/reproduce_experiments.py [--fast] [--experiment E4]
+           [--workers 4]
 """
 
 from __future__ import annotations
@@ -25,13 +28,15 @@ def main(argv: list[str] | None = None) -> int:
         help="run a single experiment id instead of all of them",
     )
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the sweep cells (-1 = all cores)")
     args = parser.parse_args(argv)
 
     start = time.time()
     if args.experiment:
-        tables = [EXPERIMENT_RUNNERS[args.experiment]()]
+        tables = [EXPERIMENT_RUNNERS[args.experiment](seed=args.seed, workers=args.workers)]
     else:
-        tables = run_all_experiments(fast=args.fast, seed=args.seed)
+        tables = run_all_experiments(fast=args.fast, seed=args.seed, workers=args.workers)
     for table in tables:
         print(table.render())
         print()

@@ -120,7 +120,9 @@ def partwise_aggregate(
         if acc is not None:
             values[idx] = acc
     if quality is None:
-        quality = shortcut.quality_report(exact_dilation=False)
+        # Use the caller's rng for the sampled dilation too — analytic mode
+        # must be as reproducible as the simulated one.
+        quality = shortcut.quality_report(exact_dilation=False, rng=rng)
     rounds = estimate_aggregation_rounds(quality, partition.graph.num_vertices)
     return AggregationResult(values=values, rounds=rounds, mode="analytic")
 

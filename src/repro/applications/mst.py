@@ -106,7 +106,10 @@ def default_shortcut_factory(
             log_factor=log_factor,
             rng=base_rng,
         )
-        quality = result.shortcut.quality_report(exact_dilation=False)
+        # The sampled-source dilation approximation draws from the factory's
+        # stream too — with no rng it would pull OS entropy and make the
+        # charged rounds irreproducible.
+        quality = result.shortcut.quality_report(exact_dilation=False, rng=base_rng)
         build_rounds = estimate_aggregation_rounds(quality, graph.num_vertices)
         return result.shortcut, build_rounds
 
@@ -118,6 +121,7 @@ def boruvka_mst(
     *,
     shortcut_factory: Optional[ShortcutFactory] = None,
     max_phases: Optional[int] = None,
+    rng: RandomLike = None,
 ) -> MSTResult:
     """Compute the MST with Boruvka phases, charging shortcut-based round costs.
 
@@ -129,6 +133,9 @@ def boruvka_mst(
             :func:`default_shortcut_factory`.
         max_phases: safety bound on the number of phases
             (default ``ceil(log2 n) + 2``).
+        rng: randomness for the per-phase sampled dilation measurement (the
+            charged aggregation rounds depend on it); the MST edge set never
+            does.
 
     Returns:
         An :class:`MSTResult` whose edge set equals the true MST (verified
@@ -141,6 +148,7 @@ def boruvka_mst(
         shortcut_factory = default_shortcut_factory()
     if max_phases is None:
         max_phases = math.ceil(math.log2(max(n, 2))) + 2
+    quality_rng = ensure_rng(rng)
 
     uf = UnionFind(n)
     edge_list = graph.csr().edge_list
@@ -158,7 +166,7 @@ def boruvka_mst(
         # disconnected graph cannot occur (we only merge along edges).
         partition = Partition(graph, fragments, validate=False)
         shortcut, build_rounds = shortcut_factory(graph, partition)
-        quality = shortcut.quality_report(exact_dilation=False)
+        quality = shortcut.quality_report(exact_dilation=False, rng=quality_rng)
         quality_per_phase.append(quality.quality)
 
         # MWOE selection = one part-wise min aggregation: each node's value

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..graphs.graph import WeightedGraph
+from ..rng import RandomLike
 from ..shortcuts.shortcut import QualityReport, Shortcut
 from .aggregation import estimate_aggregation_rounds
 
@@ -129,6 +130,7 @@ def shortcut_accelerated_sssp(
     *,
     max_phases: Optional[int] = None,
     quality: Optional[QualityReport] = None,
+    rng: RandomLike = None,
 ) -> SSSPResult:
     """Compute SSSP distances with part-accelerated Bellman-Ford phases.
 
@@ -149,6 +151,9 @@ def shortcut_accelerated_sssp(
             convergence.
         max_phases: phase limit (default ``2 * ceil(log2 n) + 4``).
         quality: precomputed quality report (avoids re-measuring).
+        rng: randomness for the sampled dilation measurement when
+            ``quality`` is not supplied (the charged rounds depend on it;
+            the distances never do).
 
     Returns:
         An :class:`SSSPResult` (stretch measured against Dijkstra).
@@ -158,7 +163,7 @@ def shortcut_accelerated_sssp(
     if max_phases is None:
         max_phases = 2 * math.ceil(math.log2(max(n, 2))) + 4
     if quality is None:
-        quality = shortcut.quality_report(exact_dilation=False)
+        quality = shortcut.quality_report(exact_dilation=False, rng=rng)
     per_phase_rounds = 1 + estimate_aggregation_rounds(quality, n)
 
     intra = {

@@ -28,6 +28,7 @@ from typing import Optional
 
 from ..graphs.graph import Graph, WeightedGraph, edge_key
 from ..graphs.traversal import bfs_tree
+from ..rng import RandomLike
 from .mst import ShortcutFactory, boruvka_mst, default_shortcut_factory
 
 
@@ -115,6 +116,7 @@ def two_ecss_approximation(
     graph: WeightedGraph,
     *,
     shortcut_factory: Optional[ShortcutFactory] = None,
+    rng: RandomLike = None,
 ) -> TwoECSSResult:
     """Approximate the minimum-weight 2-ECSS by MST + cheapest cover edges.
 
@@ -123,13 +125,15 @@ def two_ecss_approximation(
             input is (bridges of the input can never be covered).
         shortcut_factory: the shortcut engine used by the MST phase and
             charged for the augmentation aggregations.
+        rng: randomness for the MST phase's round charging (sampled
+            dilation measurement); the edge set is deterministic.
 
     Returns:
         A :class:`TwoECSSResult`.
     """
     if shortcut_factory is None:
         shortcut_factory = default_shortcut_factory()
-    mst = boruvka_mst(graph, shortcut_factory=shortcut_factory)
+    mst = boruvka_mst(graph, shortcut_factory=shortcut_factory, rng=rng)
     tree_edges = set(mst.edges)
 
     # Root the tree and record parent/depth so that "the tree path of a

@@ -17,7 +17,10 @@ writing a script:
 * ``generate``    — build a graph of a named family (``repro generate
                     --family broom ...``), print its stats, optionally save
                     it as JSON;
-* ``experiments`` — run one or all of the EXPERIMENTS.md tables.
+* ``experiments`` — run one or all of the EXPERIMENTS.md tables
+                    (``--workers N`` shards the sweep cells over N worker
+                    processes; the tables stay bit-identical to a serial
+                    run).
 
 Every command takes ``--seed`` and is deterministic.
 """
@@ -42,6 +45,7 @@ from .graphs.generators import (
 )
 from .graphs.graph import Graph
 from .graphs.traversal import is_connected, max_component_diameter
+from .rng import derive_seed
 from .params import (
     elkin_lower_bound,
     ghaffari_haeupler_quality,
@@ -131,6 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--full", action="store_true",
                              help="use the full (slow) parameter sets when running all")
     experiments.add_argument("--seed", type=int, default=1)
+    experiments.add_argument("--workers", type=int, default=1,
+                             help="worker processes for the sweep cells (1 = serial, "
+                                  "-1 = all cores); tables are bit-identical at "
+                                  "every worker count except declared timing "
+                                  "columns (E13's wall_s)")
     return parser
 
 
@@ -188,7 +197,11 @@ def _command_shortcut(args: argparse.Namespace) -> int:
             args.engine, workload.graph, workload.partition, workload.diameter,
             args.log_factor, args.seed,
         )
-    report = shortcut.quality_report(exact_dilation=args.exact_dilation)
+    # The sampled (non-exact) dilation draws BFS sources from an rng; derive
+    # it from --seed so same-seed runs print identical reports.
+    report = shortcut.quality_report(
+        exact_dilation=args.exact_dilation, rng=derive_seed(args.seed, "dilation")
+    )
     n = workload.graph.num_vertices
     print(f"workload        : {workload.name} (n={n}, m={workload.graph.num_edges}, D={workload.diameter})")
     print(f"parts           : {workload.partition.num_parts}")
@@ -221,7 +234,10 @@ def _command_mst(args: argparse.Namespace) -> int:
         factory = default_shortcut_factory(
             diameter_value=workload.diameter, log_factor=args.log_factor, rng=args.seed
         )
-        result = boruvka_mst(weighted, shortcut_factory=factory)
+        result = boruvka_mst(
+            weighted, shortcut_factory=factory,
+            rng=derive_seed(args.seed, "mst_quality"),
+        )
         rounds_label = "charged rounds  "
     else:
         result = shortcut_boruvka_mst(
@@ -287,9 +303,13 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _command_experiments(args: argparse.Namespace) -> int:
     if args.experiment:
-        tables = [EXPERIMENT_RUNNERS[args.experiment]()]
+        tables = [
+            EXPERIMENT_RUNNERS[args.experiment](seed=args.seed, workers=args.workers)
+        ]
     else:
-        tables = run_all_experiments(fast=not args.full, seed=args.seed)
+        tables = run_all_experiments(
+            fast=not args.full, seed=args.seed, workers=args.workers
+        )
     for table in tables:
         print(table.render())
         print()

@@ -1,10 +1,23 @@
-"""Shared fixtures for the test-suite."""
+"""Shared fixtures and hypothesis profiles for the test-suite.
+
+Hypothesis profiles (select with ``HYPOTHESIS_PROFILE=<name>``):
+
+* ``ci`` — the fixed profile the CI test job runs: derandomized (the same
+  example sequence on every run, so a red build is always reproducible)
+  and without deadlines (shared runners have noisy timings).
+* ``dev`` — fewer examples for quick local iteration.
+* default — hypothesis's stock behaviour (randomized exploration), used
+  when no profile is requested; this is where new counterexamples are
+  found.
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.graphs import (
     Graph,
@@ -16,6 +29,17 @@ from repro.graphs import (
     with_random_weights,
 )
 from repro.shortcuts import Partition
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", max_examples=10, deadline=None)
+_profile = os.environ.get("HYPOTHESIS_PROFILE", "default")
+if _profile != "default":
+    settings.load_profile(_profile)
 
 
 @pytest.fixture

@@ -176,6 +176,45 @@ class TestExperimentRunners:
         assert all(0 <= r <= 1 for r in t.column("success_rate"))
 
 
+class TestRunAllOrder:
+    def test_experiment_id_order_is_numeric(self):
+        from repro.analysis import experiment_id_order
+
+        ids = ["E1", "E10", "E11", "E12", "E13", "E14", "E2", "E3", "E4",
+               "E5", "E6", "E7", "E8", "E9"]
+        assert experiment_id_order(ids) == [f"E{i}" for i in range(1, 15)]
+
+    def test_run_all_tables_come_in_id_order(self):
+        # Regression: sorted(EXPERIMENT_RUNNERS) is lexicographic, which ran
+        # E10-E14 between E1 and E2, contradicting the "in id order" doc.
+        from repro.analysis import run_all_experiments
+
+        tables = run_all_experiments(fast=True, seed=1)
+        assert [t.experiment_id for t in tables] == [f"E{i}" for i in range(1, 15)]
+
+    def test_run_all_forwards_seed_in_full_mode(self, monkeypatch):
+        # Regression: fast=False used to build empty overrides, leaving every
+        # experiment on its hardcoded default seed and making the documented
+        # `seed` argument dead in full mode.
+        from repro.analysis import experiments as experiments_module
+        from repro.analysis.experiments import plan_probability_ablation
+
+        received: dict[str, object] = {}
+
+        def recording_planner(**kwargs):
+            received.update(kwargs)
+            return plan_probability_ablation(n=100, log_factors=(0.25,), seed=0)
+
+        monkeypatch.setattr(
+            experiments_module, "EXPERIMENT_PLANNERS", {"E12": recording_planner}
+        )
+        experiments_module.run_all_experiments(fast=False, seed=9)
+        assert received == {"seed": 9}
+        received.clear()
+        experiments_module.run_all_experiments(fast=True, seed=9)
+        assert received.get("seed") == 9
+
+
 class TestAggregationRoutingExperiment:
     def test_e14_shortcut_beats_raw_on_worst_case(self):
         from repro.analysis import run_aggregation_routing_experiment

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import json
-
 import pytest
 
 from repro.cli import ENGINES, build_parser, main
@@ -87,6 +85,17 @@ class TestShortcutCommand:
         for i in range(expected.num_parts):
             assert loaded.subgraph_edges(i) == expected.subgraph_edges(i)
 
+    def test_quality_report_is_seed_deterministic(self, capsys):
+        # Regression: the default (sampled) dilation measurement was
+        # unseeded, so the printed dilation/quality could vary across
+        # same-seed runs.
+        args = ["shortcut", "--n", "150", "-D", "6", "--workload", "lower_bound",
+                "--seed", "3"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
     def test_distributed_engine_reports_rounds(self, capsys):
         code = main([
             "shortcut", "--n", "100", "-D", "4", "--workload", "lower_bound",
@@ -118,6 +127,16 @@ class TestMSTCommand:
         assert "weights match   : True" in out
         assert "charged rounds" in out
 
+    def test_analytic_engine_is_seed_deterministic(self, capsys):
+        # Regression: the analytic engine's per-phase sampled-dilation
+        # measurement drew OS entropy, so same-seed runs printed different
+        # charged rounds.
+        args = ["mst", "--n", "150", "-D", "6", "--workload", "hub", "--seed", "5"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
 
 class TestExperimentsCommand:
     def test_single_experiment(self, capsys):
@@ -126,6 +145,27 @@ class TestExperimentsCommand:
         out = capsys.readouterr().out
         assert "E11" in out
         assert "repetitions" in out
+
+    def test_single_experiment_honours_seed(self, capsys):
+        # Regression: the single-experiment path used to drop --seed and run
+        # with the runner's internal default.
+        assert main(["experiments", "--experiment", "E2", "--seed", "5"]) == 0
+        assert "seed=5" in capsys.readouterr().out
+        assert main(["experiments", "--experiment", "E2", "--seed", "6"]) == 0
+        assert "seed=6" in capsys.readouterr().out
+
+    def test_workers_flag_accepted(self):
+        args = build_parser().parse_args(["experiments", "--workers", "4"])
+        assert args.workers == 4
+        assert build_parser().parse_args(["experiments"]).workers == 1
+
+    def test_single_experiment_parallel_output_matches_serial(self, capsys):
+        assert main(["experiments", "--experiment", "E12", "--workers", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["experiments", "--experiment", "E12", "--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+        assert "E12" in serial_out
 
 
 class TestUnknownDiameterFlag:

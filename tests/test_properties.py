@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 import random
+from collections import deque
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -30,12 +31,14 @@ from repro.graphs import (
     is_connected,
     spanning_forest,
 )
+from repro.graphs.generators import GENERATOR_FAMILIES, make_family_graph
 from repro.shortcuts import (
     Partition,
     Shortcut,
     build_empty_shortcut,
     build_kogan_parter_shortcut,
 )
+from repro.shortcuts.verification import is_valid_shortcut, verify_shortcut
 
 # ----------------------------------------------------------------------
 # strategies
@@ -215,6 +218,166 @@ class TestShortcutProperties:
             assert sc.congestion() >= 1
         else:
             assert sc.congestion() == 0
+
+
+# ----------------------------------------------------------------------
+# verification oracle: is_valid_shortcut vs brute force
+# ----------------------------------------------------------------------
+def _carve_connected_parts(g: Graph, rng: random.Random, num_parts: int) -> list[set[int]]:
+    """Disjoint connected regions grown by BFS, the common partition shape."""
+    used: set[int] = set()
+    parts: list[set[int]] = []
+    for _ in range(num_parts):
+        available = [v for v in g.vertices() if v not in used]
+        if not available:
+            break
+        start = rng.choice(available)
+        size = rng.randint(1, max(1, len(available) // 2))
+        region = {start}
+        frontier = [start]
+        while frontier and len(region) < size:
+            u = frontier.pop()
+            for v in g.neighbors(u):
+                if v not in used and v not in region:
+                    region.add(v)
+                    frontier.append(v)
+        parts.append(region)
+        used |= region
+    return parts
+
+
+@st.composite
+def family_graphs_with_partitions(draw):
+    """A graph drawn across every generator family, plus carved parts."""
+    family = draw(st.sampled_from(sorted(GENERATOR_FAMILIES)))
+    n = draw(st.integers(8, 26))
+    seed = draw(st.integers(0, 10_000))
+    g = make_family_graph(family, n, rng=seed)
+    rng = random.Random(seed + 1)
+    num_parts = draw(st.integers(1, 4))
+    parts = _carve_connected_parts(g, rng, num_parts)
+    return g, Partition(g, parts)
+
+
+def _oracle_congestion(shortcut: Shortcut) -> int:
+    """Per-edge brute force: count augmented subgraphs containing each edge."""
+    g = shortcut.graph
+    partition = shortcut.partition
+    parts = [set(partition.part(i)) for i in range(partition.num_parts)]
+    subs = [shortcut.subgraph_edges(i) for i in range(partition.num_parts)]
+    worst = 0
+    for u, v in g.edges():
+        load = sum(
+            1
+            for i in range(partition.num_parts)
+            if (u in parts[i] and v in parts[i]) or (u, v) in subs[i]
+        )
+        worst = max(worst, load)
+    return worst
+
+
+def _oracle_part_dilation(shortcut: Shortcut, index: int) -> float:
+    """Per-path brute force: BFS between every part-vertex pair in
+    ``G[S_i] ∪ H_i`` (non-part endpoints of sampled edges may relay)."""
+    part = set(shortcut.partition.part(index))
+    if len(part) <= 1:
+        return 0.0
+    adjacency: dict[int, list[int]] = {}
+    for u, v in shortcut.augmented_edges(index):
+        adjacency.setdefault(u, []).append(v)
+        adjacency.setdefault(v, []).append(u)
+    worst = 0.0
+    for source in part:
+        dist = {source: 0}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for v in adjacency.get(u, []):
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+        for target in part:
+            if target not in dist:
+                return float("inf")
+            worst = max(worst, float(dist[target]))
+    return worst
+
+
+def _oracle_dilation(shortcut: Shortcut) -> float:
+    return max(
+        (_oracle_part_dilation(shortcut, i) for i in range(shortcut.num_parts)),
+        default=0.0,
+    )
+
+
+class TestVerificationAgainstOracle:
+    """``is_valid_shortcut`` / ``verify_shortcut`` vs per-edge and per-path
+    brute force, on random graphs drawn across every generator family."""
+
+    @given(family_graphs_with_partitions(), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_kogan_parter_measurements_match_oracle(self, gp, seed):
+        g, partition = gp
+        shortcut = build_kogan_parter_shortcut(
+            g, partition, log_factor=0.4, rng=seed
+        ).shortcut
+        report = verify_shortcut(shortcut)
+        assert report.congestion == _oracle_congestion(shortcut)
+        assert report.dilation == _oracle_dilation(shortcut)
+        assert report.valid == (report.dilation < float("inf"))
+
+    @given(family_graphs_with_partitions())
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_empty_shortcut_measurements_match_oracle(self, gp):
+        g, partition = gp
+        shortcut = build_empty_shortcut(g, partition)
+        report = verify_shortcut(shortcut)
+        assert report.congestion == _oracle_congestion(shortcut)
+        assert report.dilation == _oracle_dilation(shortcut)
+
+    @given(family_graphs_with_partitions(), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_validity_thresholds_are_exact(self, gp, seed):
+        g, partition = gp
+        shortcut = build_kogan_parter_shortcut(
+            g, partition, log_factor=0.4, rng=seed
+        ).shortcut
+        congestion = _oracle_congestion(shortcut)
+        dilation = _oracle_dilation(shortcut)
+        if dilation == float("inf"):
+            assert not is_valid_shortcut(shortcut)
+            return
+        # The oracle values themselves are admissible budgets...
+        assert is_valid_shortcut(
+            shortcut, max_congestion=congestion, max_dilation=dilation
+        )
+        # ...and anything strictly below either measured value is not.
+        if congestion > 0:
+            assert not is_valid_shortcut(
+                shortcut, max_congestion=congestion - 1, max_dilation=dilation
+            )
+        if dilation > 0:
+            assert not is_valid_shortcut(
+                shortcut, max_congestion=congestion, max_dilation=dilation - 1
+            )
+
+    @given(family_graphs_with_partitions(), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_sampled_dilation_is_a_sound_lower_bound(self, gp, seed):
+        # The cheap 2-approximation never exceeds the exact value and is
+        # deterministic given its rng — the property the experiment
+        # harness's determinism contract rests on.
+        g, partition = gp
+        shortcut = build_kogan_parter_shortcut(
+            g, partition, log_factor=0.4, rng=seed
+        ).shortcut
+        exact = _oracle_dilation(shortcut)
+        approx_a = shortcut.dilation(exact=False, rng=seed + 1)
+        approx_b = shortcut.dilation(exact=False, rng=seed + 1)
+        assert approx_a == approx_b
+        assert approx_a <= exact
+        if exact < float("inf"):
+            assert approx_a >= exact / 2.0
 
 
 # ----------------------------------------------------------------------
