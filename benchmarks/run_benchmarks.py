@@ -10,7 +10,7 @@ perf-relevant PR gives a queryable history of the hot-path speed.
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--out BENCH.json]
-        [--baseline OLD.json] [--repeat N] [--quick]
+        [--baseline OLD.json] [--repeat N] [--quick] [--only NAME]
         [--check-latest] [--max-regression X]
 
 With ``--baseline`` the report also contains per-workload speedup factors
@@ -131,6 +131,50 @@ def _bench_mst_shortcut_1k() -> dict:
         "phases": result.phases,
         "rounds": result.total_rounds,
         "weight_ok": abs(result.weight - kruskal_weight) < 1e-6,
+    }
+
+
+def _bench_fault_sweep_1k() -> dict:
+    """Quick tier: the shortcut-consumer MST under adversarial message loss.
+
+    Runs the same 1k-node Boruvka consumer as ``mst_shortcut_1k`` twice —
+    fault-free and at a 5% Bernoulli drop rate with the retry/ack protocol
+    stack — and reports both walls plus the retry overhead factor.  Both
+    runs check their weight against Kruskal, so the workload doubles as
+    the end-to-end exactness-under-loss canary: with retries enabled a
+    positive drop rate must not change the answer, only the cost.
+    """
+    from repro.applications.mst import kruskal_mst
+    from repro.applications.shortcut_mst import shortcut_boruvka_mst
+    from repro.graphs.generators import with_random_weights
+
+    inst = lower_bound_instance(1_000, 6)
+    weighted = with_random_weights(inst.graph, rng=3)
+    _, kruskal_weight = kruskal_mst(weighted)
+
+    start = time.perf_counter()
+    clean = shortcut_boruvka_mst(
+        weighted, engine="shortcut", diameter_value=6, log_factor=0.25, rng=3,
+    )
+    clean_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    faulty = shortcut_boruvka_mst(
+        weighted, engine="shortcut", diameter_value=6, log_factor=0.25, rng=3,
+        drop_rate=0.05, adversary_seed=17,
+    )
+    faulty_wall = time.perf_counter() - start
+
+    return {
+        "wall_s": faulty_wall,
+        "clean_wall_s": round(clean_wall, 4),
+        "retry_overhead": round(faulty_wall / clean_wall, 2) if clean_wall else 0.0,
+        "n": weighted.num_vertices,
+        "drop_rate": 0.05,
+        "rounds": faulty.total_rounds,
+        "clean_rounds": clean.total_rounds,
+        "weight_ok": (abs(clean.weight - kruskal_weight) < 1e-6
+                      and abs(faulty.weight - kruskal_weight) < 1e-6),
     }
 
 
@@ -528,6 +572,7 @@ CLASSIC_WORKLOADS: dict[str, Callable[[], dict]] = {
     "distributed_E5": _bench_distributed,
     "distributed_pipeline_1k": _bench_distributed_pipeline,
     "mst_shortcut_1k": _bench_mst_shortcut_1k,
+    "fault_sweep_1k": _bench_fault_sweep_1k,
     "sweep_fast_parallel": _bench_sweep_fast_parallel,
     "congest_flood": _bench_congest_flood,
 }
@@ -563,7 +608,8 @@ def _git_rev() -> Optional[str]:
         return None
 
 
-def run_benchmarks(repeat: int = 1, quick: bool = False) -> dict:
+def run_benchmarks(repeat: int = 1, quick: bool = False,
+                   only: Optional[list[str]] = None) -> dict:
     """Run every workload ``repeat`` times and keep the best wall time.
 
     Workloads may return their own ``wall_s`` (measured around just the
@@ -571,10 +617,22 @@ def run_benchmarks(repeat: int = 1, quick: bool = False) -> dict:
     interleaved (one pass over all workloads per repetition) rather than
     run back-to-back, so every workload samples several time windows and
     transient machine noise is less likely to poison any single best-of.
+
+    ``only`` restricts the run to the named workloads (any tier) — the CI
+    fault-smoke lane uses it to gate just ``fault_sweep_1k`` without
+    paying for the whole quick tier.
     """
     workloads = dict(CLASSIC_WORKLOADS)
     if not quick:
         workloads.update(SCALE_WORKLOADS)
+    if only:
+        everything = {**CLASSIC_WORKLOADS, **SCALE_WORKLOADS}
+        unknown = [name for name in only if name not in everything]
+        if unknown:
+            raise SystemExit(
+                f"unknown workload(s) {unknown}; "
+                f"choose from {sorted(everything)}")
+        workloads = {name: everything[name] for name in only}
     best: dict[str, float] = {name: float("inf") for name in workloads}
     extras: dict[str, dict] = {name: {} for name in workloads}
     for _ in range(repeat):
@@ -651,6 +709,9 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="repetitions per workload (best-of)")
     parser.add_argument("--quick", action="store_true",
                         help="run only the classic small workloads (CI smoke)")
+    parser.add_argument("--only", action="append", metavar="NAME",
+                        help="run only the named workload (repeatable; "
+                             "any tier)")
     parser.add_argument("--check-latest", action="store_true",
                         help="compare against the newest committed BENCH_*.json "
                              "and fail on regression")
@@ -658,7 +719,8 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="allowed slowdown factor for --check-latest (default 2.0)")
     args = parser.parse_args(argv)
 
-    results = run_benchmarks(repeat=args.repeat, quick=args.quick)
+    results = run_benchmarks(repeat=args.repeat, quick=args.quick,
+                             only=args.only)
     # Workloads that double as correctness canaries (mst_shortcut_1k's
     # Kruskal check, components_10k's label check, distributed spanning
     # flags) report boolean fields; a falsy one fails the run regardless

@@ -1544,6 +1544,214 @@ def run_aggregation_routing_experiment(
 
 
 # ----------------------------------------------------------------------
+# E15: fault tolerance — surviving shortcuts and consumers under faults
+# ----------------------------------------------------------------------
+def _fault_tolerance_cell(
+    *, family: str, size: int, drop_rate: float, crashes: int, seed: int
+) -> list:
+    """E15 cell: one (family, drop rate, crash count) fault workload.
+
+    Three measurements per cell:
+
+    * **surviving shortcut quality** — build the Kogan-Parter shortcut,
+      then project the fault pattern onto it (every shortcut edge incident
+      to a crash victim dies, every other edge survives a Bernoulli drop)
+      and re-measure congestion/dilation of what survives;
+    * **MST consumer** — :func:`~repro.applications.shortcut_mst.
+      shortcut_boruvka_mst` with the same fault knobs, checked against
+      Kruskal;
+    * **components consumer** — :func:`~repro.applications.components.
+      shortcut_connected_components` on a two-block disjoint union of the
+      family, checked against the sequential traversal.
+
+    Fault-degraded consumer runs (possible once ``crashes > 0``) surface
+    as ``ok=False`` rows — the row the fault sweep is *about* — never as
+    exceptions: a stalled stage's
+    :class:`~repro.congest.network.PartialRunError` is caught and its
+    partial metrics folded into the round count.
+    """
+    from ..applications.components import shortcut_connected_components
+    from ..applications.shortcut_mst import shortcut_boruvka_mst
+    from ..congest.network import PartialRunError
+    from ..graphs.components import connected_components
+    from ..graphs.generators import GENERATOR_FAMILIES, disjoint_union, make_family_graph
+    from ..shortcuts.shortcut import Shortcut
+
+    if family not in GENERATOR_FAMILIES:
+        raise ValueError(f"unknown E15 family {family!r}")
+    graph = make_family_graph(
+        family, size, rng=derive_rng(seed, "E15", family, size, "graph")
+    )
+    n = graph.num_vertices
+
+    # --- surviving-shortcut quality ---------------------------------
+    num_parts = max(2, n // 16)
+    parts = singleton_free(random_connected_partition(
+        graph, num_parts, rng=derive_rng(seed, "E15", family, size, "parts"),
+        cover_all=True,
+    ))
+    partition = Partition(graph, parts, validate=False)
+    shortcut = build_kogan_parter_shortcut(
+        graph, partition,
+        rng=derive_rng(seed, "E15", family, size, "sample"),
+    ).shortcut
+    fault_rng = derive_rng(seed, "E15", family, size, "survive")
+    victims = set(fault_rng.sample(range(n), crashes)) if crashes else set()
+    edge_list = graph.csr().edge_list
+    surviving_ids = []
+    total_edges = 0
+    lost_edges = 0
+    for i in range(partition.num_parts):
+        ids = shortcut.subgraph_edge_ids(i)
+        total_edges += len(ids)
+        kept = set()
+        for eid in ids:
+            u, v = edge_list[eid]
+            if u in victims or v in victims:
+                continue
+            if drop_rate and fault_rng.random() < drop_rate:
+                continue
+            kept.add(eid)
+        lost_edges += len(ids) - len(kept)
+        surviving_ids.append(kept)
+    survived = Shortcut.from_edge_ids(partition, surviving_ids)
+    report = survived.quality_report(exact_dilation=False, rng=fault_rng)
+
+    # --- MST consumer under live faults -----------------------------
+    weighted = with_random_weights(
+        graph, rng=derive_rng(seed, "E15", family, size, "weights")
+    )
+    _, kruskal_weight = kruskal_mst(weighted)
+    try:
+        mst = shortcut_boruvka_mst(
+            weighted,
+            rng=derive_rng(seed, "E15", family, size, "mst"),
+            drop_rate=drop_rate, crashes=crashes,
+            adversary_seed=derive_seed(seed, "E15", family, size, "mst-adv"),
+            recover_after=16,
+        )
+        mst_rounds = mst.total_rounds
+        mst_phases = mst.phases
+        mst_ok = abs(mst.weight - kruskal_weight) < 1e-6
+    except PartialRunError as stall:
+        mst_rounds = stall.metrics.rounds if stall.metrics is not None else -1
+        mst_phases = -1
+        mst_ok = False
+
+    # --- components consumer on a disconnected workload -------------
+    half = max(4, size // 2)
+    blocks = [
+        make_family_graph(family, half,
+                          rng=derive_rng(seed, "E15", family, size, "block", b))
+        for b in range(2)
+    ]
+    comp_graph = disjoint_union(blocks)
+    expected_labels = [0] * comp_graph.num_vertices
+    comps = connected_components(comp_graph)
+    for comp in comps:
+        leader = min(comp)
+        for v in comp:
+            expected_labels[v] = leader
+    try:
+        comp = shortcut_connected_components(
+            comp_graph,
+            rng=derive_rng(seed, "E15", family, size, "components"),
+            drop_rate=drop_rate, crashes=crashes,
+            adversary_seed=derive_seed(seed, "E15", family, size, "comp-adv"),
+            recover_after=16,
+        )
+        comp_rounds = comp.total_rounds
+        comp_ok = (comp.labels == expected_labels
+                   and comp.num_components == len(comps))
+    except PartialRunError as stall:
+        comp_rounds = stall.metrics.rounds if stall.metrics is not None else -1
+        comp_ok = False
+
+    return [
+        family,
+        n,
+        drop_rate,
+        crashes,
+        total_edges,
+        lost_edges,
+        report.congestion,
+        report.dilation,
+        mst_rounds,
+        mst_phases,
+        mst_ok,
+        comp_rounds,
+        comp_ok,
+    ]
+
+
+def plan_fault_tolerance_experiment(
+    *,
+    families: Optional[Sequence[str]] = None,
+    size: int = 96,
+    drop_rates: Sequence[float] = (0.0, 0.05, 0.15),
+    crash_counts: Sequence[int] = (0, 2),
+    seed: int = 61,
+) -> ExperimentPlan:
+    """Plan E15: one cell per (family, drop rate, crash count)."""
+    if families is None:
+        from ..graphs.generators import GENERATOR_FAMILIES
+
+        families = tuple(sorted(GENERATOR_FAMILIES))
+    tasks = [
+        CellTask("E15", dict(family=family, size=size, drop_rate=drop_rate,
+                             crashes=crashes, seed=seed))
+        for family in families
+        for drop_rate in drop_rates
+        for crashes in crash_counts
+    ]
+    return tasks, _rows_reducer(
+        experiment_id="E15",
+        title="Fault sweep: surviving shortcut quality and consumer rounds",
+        headers=[
+            "family", "n", "drop_rate", "crashes", "shortcut_edges",
+            "edges_lost", "surv_congestion", "surv_dilation",
+            "mst_rounds", "mst_phases", "mst_ok", "comp_rounds", "comp_ok",
+        ],
+        notes=[
+            f"size={size}, seed={seed}; surviving quality projects the fault "
+            "pattern onto the built shortcut (crash-incident edges die, the "
+            "rest survive Bernoulli drops; dilation inf = a part got "
+            "disconnected); consumer columns run the live fault stack "
+            "(retry/ack protocols, per-phase adversaries, recover_after=16) "
+            "and check exactness against the sequential oracles",
+        ],
+    )
+
+
+def run_fault_tolerance_experiment(
+    *,
+    families: Optional[Sequence[str]] = None,
+    size: int = 96,
+    drop_rates: Sequence[float] = (0.0, 0.05, 0.15),
+    crash_counts: Sequence[int] = (0, 2),
+    seed: int = 61,
+    workers: Optional[int] = None,
+) -> ExperimentTable:
+    """E15: what survives an adversarial CONGEST network.
+
+    The robustness closing of the pipeline: every other experiment assumes
+    fault-free delivery, and this one measures the same artifacts —
+    shortcut quality and consumer rounds — as messages drop and nodes
+    crash.  Zero-fault rows double as the identity pin (``mst_ok`` and
+    ``comp_ok`` must hold there by the adversary-free oracle tests); at
+    positive drop rates the ack/retry protocol stack keeps the consumers
+    exact while the round counts expose the retransmission cost; crash
+    rows show graceful degradation (lost aggregates retry next phase, and
+    ``ok`` may honestly turn ``False``).
+    """
+    tasks, reduce = plan_fault_tolerance_experiment(
+        families=families, size=size, drop_rates=drop_rates,
+        crash_counts=crash_counts, seed=seed,
+    )
+    return reduce(run_cells(tasks, workers=workers))
+
+
+# ----------------------------------------------------------------------
 # registries
 # ----------------------------------------------------------------------
 #: All experiment runners, keyed by experiment id (used by the CLI example
@@ -1563,6 +1771,7 @@ EXPERIMENT_RUNNERS: dict[str, Callable[..., ExperimentTable]] = {
     "E12": run_probability_ablation,
     "E13": run_distributed_scale_experiment,
     "E14": run_aggregation_routing_experiment,
+    "E15": run_fault_tolerance_experiment,
 }
 
 #: Planners produce the (cells, reducer) decomposition the parallel
@@ -1583,6 +1792,7 @@ EXPERIMENT_PLANNERS: dict[str, Callable[..., ExperimentPlan]] = {
     "E12": plan_probability_ablation,
     "E13": plan_distributed_scale_experiment,
     "E14": plan_aggregation_routing_experiment,
+    "E15": plan_fault_tolerance_experiment,
 }
 
 #: Per-experiment cell runners — the functions worker processes execute.
@@ -1603,6 +1813,7 @@ CELL_RUNNERS: dict[str, Callable[..., object]] = {
     "E12": _probability_cell,
     "E13": _distributed_scale_cell,
     "E14": _aggregation_routing_cell,
+    "E15": _fault_tolerance_cell,
 }
 
 
@@ -1634,7 +1845,7 @@ def run_all_experiments(
 
     Returns:
         One :class:`ExperimentTable` per experiment, in numeric id order
-        (E1, E2, ..., E14).
+        (E1, E2, ..., E15).
     """
     if fast:
         overrides: dict[str, dict[str, object]] = {
@@ -1652,6 +1863,9 @@ def run_all_experiments(
             "E12": {"n": 200, "seed": seed},
             "E13": {"sizes": (400,), "seed": seed},
             "E14": {"part_sizes": (30, 60), "seed": seed},
+            "E15": {"families": ("torus", "hub"), "size": 48,
+                    "drop_rates": (0.0, 0.05), "crash_counts": (0,),
+                    "seed": seed},
         }
     else:
         # Full tier keeps each experiment's default parameter sets but still

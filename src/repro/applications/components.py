@@ -39,6 +39,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..congest.adversary import (
+    RetryPolicy,
+    derive_seed_or_none,
+    make_fault_adversary,
+)
 from ..congest.network import Network
 from ..congest.primitives.aggregation import aggregate_over_shortcut
 from ..graphs.components import UnionFind
@@ -86,6 +91,11 @@ def shortcut_connected_components(
     rng: RandomLike = None,
     max_rounds_per_phase: int = 200_000,
     max_phases: Optional[int] = None,
+    drop_rate: float = 0.0,
+    crashes: int = 0,
+    adversary_seed: Optional[int] = None,
+    recover_after: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> ComponentsResult:
     """Label the connected components with the simulated consumer loop.
 
@@ -99,6 +109,18 @@ def shortcut_connected_components(
         rng: randomness for sampling and scheduler delays.
         max_rounds_per_phase: safety cap per simulated stage.
         max_phases: phase cap (default ``ceil(log2 n) + 2``).
+        drop_rate: Bernoulli message-drop probability per delivery; any
+            positive rate turns on the retry/ack protocol stack (labels
+            stay exact under loss).
+        crashes: nodes to crash per phase at adversarial rounds; lost
+            aggregates make the phase retry within the phase budget
+            (everyone is alive again between phases).
+        adversary_seed: base seed of all fault randomness (per-phase
+            streams derived from it; ``None`` = OS entropy).
+        recover_after: revive crashed nodes after this many rounds
+            (``None`` = no recovery).
+        retry: override the default :class:`RetryPolicy` used when faults
+            are enabled.
 
     Returns:
         A :class:`ComponentsResult`.
@@ -117,6 +139,10 @@ def shortcut_connected_components(
         # construction soundly, and the exact scan is O(n·m).
         diameter_value = max_component_diameter(graph, exact=False)
 
+    faulty = drop_rate > 0.0 or crashes > 0
+    if faulty and retry is None:
+        retry = RetryPolicy()
+
     uf = UnionFind(n)
     network = Network(graph)
     rounds_per_phase: list[int] = []
@@ -125,7 +151,7 @@ def shortcut_connected_components(
     # every node is assumed to hold, as in the random-delay theorem).
     priorities = [r.random() for _ in range(graph.num_edges)]
 
-    for _ in range(max_phases):
+    for phase in range(max_phases):
         fragments = uf.groups()
         if len(fragments) <= 1:
             break
@@ -141,10 +167,18 @@ def shortcut_connected_components(
         else:
             shortcut = build_empty_shortcut(graph, partition)
 
+        adversary = None
+        if faulty:
+            adversary = make_fault_adversary(
+                drop_rate, crashes,
+                seed=derive_seed_or_none(adversary_seed, "components-phase", phase),
+                num_vertices=n, recover_after=recover_after,
+            )
         outcome = aggregate_over_shortcut(
             shortcut, candidates, "min",
             network=network, identity=NO_CANDIDATE, rng=r,
             max_rounds=max_rounds_per_phase,
+            retry=retry if faulty else None, adversary=adversary,
         )
         rounds_per_phase.append(1 + outcome.rounds)
         messages += outcome.messages
@@ -156,7 +190,9 @@ def shortcut_connected_components(
             _, u, v = winner
             if uf.union(u, v):
                 merged_any = True
-        if not merged_any:
+        # Under crashes a no-merge phase means lost aggregates; the
+        # remaining phase budget retries with everyone alive again.
+        if not merged_any and not faulty:
             break
 
     labels = [0] * n

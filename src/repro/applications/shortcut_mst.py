@@ -39,6 +39,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..congest.adversary import (
+    RetryPolicy,
+    derive_seed_or_none,
+    make_fault_adversary,
+)
 from ..congest.network import Network
 from ..congest.primitives.aggregation import aggregate_over_shortcut
 from ..graphs.components import UnionFind
@@ -127,6 +132,11 @@ def shortcut_boruvka_mst(
     rng: RandomLike = None,
     max_rounds_per_phase: int = 200_000,
     max_phases: Optional[int] = None,
+    drop_rate: float = 0.0,
+    crashes: int = 0,
+    adversary_seed: Optional[int] = None,
+    recover_after: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> ShortcutMSTResult:
     """Run the fully simulated shortcut-consumer Boruvka MST.
 
@@ -142,10 +152,25 @@ def shortcut_boruvka_mst(
         rng: randomness for the per-phase sampling and scheduler delays.
         max_rounds_per_phase: safety cap per simulated stage.
         max_phases: phase cap (default ``ceil(log2 n) + 2``).
+        drop_rate: Bernoulli message-drop probability per delivery; any
+            positive rate turns on the retry/ack protocol stack (the MST
+            stays exact — every phase completes correctly under loss).
+        crashes: number of nodes to crash per phase, at adversarially
+            scheduled rounds.  Crashed nodes lose their state; a phase
+            whose aggregates are lost simply retries on the next phase
+            (everything is alive again between phases), so the run
+            degrades gracefully instead of failing.
+        adversary_seed: base seed of all fault randomness (per-phase
+            streams are derived from it; ``None`` = OS entropy).
+        recover_after: revive crashed nodes (with wiped state) this many
+            rounds after their crash; ``None`` = no recovery.
+        retry: override the default :class:`RetryPolicy` used when faults
+            are enabled.
 
     Returns:
         A :class:`ShortcutMSTResult`; the edge set equals the Kruskal MST
-        (pinned against the oracle by ``tests/test_shortcut_consumers.py``).
+        (pinned against the oracle by ``tests/test_shortcut_consumers.py``,
+        including under positive drop rates).
     """
     if engine not in CONSUMER_ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {CONSUMER_ENGINES}")
@@ -161,6 +186,10 @@ def shortcut_boruvka_mst(
         # construction soundly, and the exact scan is O(n·m).
         diameter_value = max_component_diameter(graph, exact=False)
 
+    faulty = drop_rate > 0.0 or crashes > 0
+    if faulty and retry is None:
+        retry = RetryPolicy()
+
     uf = UnionFind(n)
     network = Network(graph)
     mst_edges: set[tuple[int, int]] = set()
@@ -169,7 +198,7 @@ def shortcut_boruvka_mst(
     agg_rounds: list[int] = []
     messages = 0
 
-    for _ in range(max_phases):
+    for phase in range(max_phases):
         fragments = uf.groups()
         if len(fragments) <= 1:
             break
@@ -185,10 +214,18 @@ def shortcut_boruvka_mst(
             ).shortcut
         else:
             shortcut = build_empty_shortcut(graph, partition)
+        adversary = None
+        if faulty:
+            adversary = make_fault_adversary(
+                drop_rate, crashes,
+                seed=derive_seed_or_none(adversary_seed, "mst-phase", phase),
+                num_vertices=n, recover_after=recover_after,
+            )
         outcome = aggregate_over_shortcut(
             shortcut, candidates, "min",
             network=network, identity=NO_CANDIDATE, rng=r,
             max_rounds=max_rounds_per_phase,
+            retry=retry if faulty else None, adversary=adversary,
         )
         # One extra round per phase for the neighbour fragment-id exchange
         # behind the local candidate computation.
@@ -207,7 +244,10 @@ def shortcut_boruvka_mst(
             if uf.union(u, v):
                 merged_any = True
                 mst_edges.add(edge_key(u, v))
-        if not merged_any:
+        # A fault-free phase with candidates but no merges cannot happen;
+        # under crashes it means the phase's aggregates were lost, and the
+        # remaining phase budget retries with everyone alive again.
+        if not merged_any and not faulty:
             break
 
     return ShortcutMSTResult(

@@ -13,7 +13,10 @@ writing a script:
                     (``--engine shortcut``/``raw`` run the fully simulated
                     consumer, ``analytic`` the charged-cost model);
 * ``components``  — run the simulated connected-components consumer on a
-                    multi-piece workload and check its labels;
+                    multi-piece workload and check its labels
+                    (``shortcut``/``mst``/``components`` all take
+                    ``--drop-rate``/``--crash``/``--adversary-seed``
+                    adversarial fault knobs);
 * ``generate``    — build a graph of a named family (``repro generate
                     --family broom ...``), print its stats, optionally save
                     it as JSON;
@@ -45,7 +48,7 @@ from .graphs.generators import (
 )
 from .graphs.graph import Graph
 from .graphs.traversal import is_connected, max_component_diameter
-from .rng import derive_seed
+from .rng import derive_rng, derive_seed
 from .params import (
     elkin_lower_bound,
     ghaffari_haeupler_quality,
@@ -69,6 +72,26 @@ from .shortcuts.kogan_parter import build_kogan_parter_shortcut
 #: the fully simulated CONGEST pipeline and additionally reports its
 #: measured per-stage rounds.
 ENGINES = ("kogan-parter", "distributed", "kitamura", "ghaffari-haeupler", "naive", "empty")
+
+
+def _add_fault_args(sub: argparse.ArgumentParser) -> None:
+    """The shared adversarial-fault knobs of the robustness commands.
+
+    ``mst`` and ``components`` run their consumer loops against a live
+    :func:`~repro.congest.adversary.make_fault_adversary` stack (simulated
+    engines only); ``shortcut`` projects the same fault pattern onto the
+    built shortcut and re-measures what survives.
+    """
+    sub.add_argument("--drop-rate", type=float, default=0.0,
+                     help="Bernoulli message/edge drop probability "
+                          "(simulated consumers turn on the retry/ack "
+                          "protocol and stay exact)")
+    sub.add_argument("--crash", type=int, default=0, metavar="N",
+                     help="crash N nodes at adversarial rounds "
+                          "(state wiped; results may degrade gracefully)")
+    sub.add_argument("--adversary-seed", type=int, default=None,
+                     help="base seed of the fault randomness "
+                          "(default: derived from --seed)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -96,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
     shortcut.add_argument("--unknown-diameter", action="store_true",
                           help="distributed engine only: run the diameter-guessing "
                                "loop (measured BFS 2-approximation + geometric doubling)")
+    _add_fault_args(shortcut)
 
     mst = sub.add_parser("mst", help="run Boruvka-over-shortcuts on a generated workload")
     mst.add_argument("--n", type=int, default=300)
@@ -108,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "fragment trees)")
     mst.add_argument("--log-factor", type=float, default=0.25)
     mst.add_argument("--seed", type=int, default=0)
+    _add_fault_args(mst)
 
     components = sub.add_parser(
         "components", help="run the simulated connected-components consumer"
@@ -120,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
     components.add_argument("--engine", choices=CONSUMER_ENGINES, default="shortcut")
     components.add_argument("--log-factor", type=float, default=0.25)
     components.add_argument("--seed", type=int, default=0)
+    _add_fault_args(components)
 
     generate = sub.add_parser("generate", help="build a graph of a named family")
     generate.add_argument("--family", choices=sorted(GENERATOR_FAMILIES), required=True)
@@ -218,6 +244,42 @@ def _command_shortcut(args: argparse.Namespace) -> int:
         print(f"spanning ok     : {distributed_result.spanning_ok}")
         for stage, rounds in distributed_result.rounds_breakdown.items():
             print(f"  rounds[{stage}] : {rounds}")
+    if args.drop_rate > 0.0 or args.crash > 0:
+        # Post-construction survival projection (the E15 fault model):
+        # every shortcut edge incident to a crash victim dies, every other
+        # edge survives an independent Bernoulli drop; re-measure what is
+        # left.  The construction above stays untouched — the projection
+        # answers "how much quality does this shortcut lose under faults".
+        from .shortcuts.shortcut import Shortcut
+
+        seed_base = (args.adversary_seed if args.adversary_seed is not None
+                     else derive_seed(args.seed, "shortcut-faults"))
+        fault_rng = derive_rng(seed_base, "survive")
+        victims = (set(fault_rng.sample(range(n), min(args.crash, n)))
+                   if args.crash else set())
+        edge_list = workload.graph.csr().edge_list
+        surviving_ids = []
+        total_edges = lost_edges = 0
+        for i in range(workload.partition.num_parts):
+            ids = shortcut.subgraph_edge_ids(i)
+            total_edges += len(ids)
+            kept = set()
+            for eid in ids:
+                u, v = edge_list[eid]
+                if u in victims or v in victims:
+                    continue
+                if args.drop_rate and fault_rng.random() < args.drop_rate:
+                    continue
+                kept.add(eid)
+            lost_edges += len(ids) - len(kept)
+            surviving_ids.append(kept)
+        survived = Shortcut.from_edge_ids(workload.partition, surviving_ids)
+        surv_report = survived.quality_report(
+            exact_dilation=args.exact_dilation, rng=fault_rng)
+        print(f"fault model     : drop_rate={args.drop_rate}, crashes={args.crash}")
+        print(f"edges lost      : {lost_edges} / {total_edges}")
+        print(f"surv congestion : {surv_report.congestion}")
+        print(f"surv dilation   : {surv_report.dilation}")
     if args.save:
         repro_io.save_json(shortcut, args.save)
         print(f"saved to {args.save}")
@@ -225,6 +287,12 @@ def _command_shortcut(args: argparse.Namespace) -> int:
 
 
 def _command_mst(args: argparse.Namespace) -> int:
+    faulty = args.drop_rate > 0.0 or args.crash > 0
+    if faulty and args.engine == "analytic":
+        print("error: --drop-rate/--crash need a simulated engine "
+              "(--engine shortcut or raw); the analytic model has no "
+              "message deliveries to attack", file=sys.stderr)
+        return 2
     workload = make_workload(args.workload, args.n, args.diameter, seed=args.seed)
     weighted = with_random_weights(workload.graph, rng=args.seed + 1)
     _, kruskal_weight = kruskal_mst(weighted)
@@ -240,9 +308,14 @@ def _command_mst(args: argparse.Namespace) -> int:
         )
         rounds_label = "charged rounds  "
     else:
+        if faulty:
+            print(f"fault model     : drop_rate={args.drop_rate}, "
+                  f"crashes={args.crash}")
         result = shortcut_boruvka_mst(
             weighted, engine=args.engine, diameter_value=workload.diameter,
             log_factor=args.log_factor, rng=args.seed,
+            drop_rate=args.drop_rate, crashes=args.crash,
+            adversary_seed=args.adversary_seed, recover_after=16,
         )
         rounds_label = "simulated rounds"
     print(f"MST weight      : {result.weight:.2f}")
@@ -266,8 +339,12 @@ def _command_components(args: argparse.Namespace) -> int:
         print("error: --pieces must be at least 1", file=sys.stderr)
         return 2
     graph = _disjoint_union_workload(args.family, args.n, args.pieces, args.seed)
+    if args.drop_rate > 0.0 or args.crash > 0:
+        print(f"fault model     : drop_rate={args.drop_rate}, crashes={args.crash}")
     result = shortcut_connected_components(
         graph, engine=args.engine, log_factor=args.log_factor, rng=args.seed,
+        drop_rate=args.drop_rate, crashes=args.crash,
+        adversary_seed=args.adversary_seed, recover_after=16,
     )
     expected = connected_components(graph)
     got = sorted(

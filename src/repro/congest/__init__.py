@@ -9,6 +9,19 @@ are designed to control.  Run metrics report rounds, message counts and
 per-edge congestion.
 """
 
+from .adversary import (
+    Adversary,
+    AsyncScheduler,
+    CrashAdversary,
+    DropAdversary,
+    DuplicateAdversary,
+    LatencyAdversary,
+    NullAdversary,
+    RetryPolicy,
+    StackedAdversary,
+    make_fault_adversary,
+    random_crash_schedule,
+)
 from .algorithm import ComposedAlgorithm, DistributedAlgorithm
 from .message import (
     BandwidthExceededError,
@@ -17,19 +30,31 @@ from .message import (
     Message,
     check_payload,
 )
-from .network import Network, RoundLimitExceeded, RunMetrics
+from .network import Network, PartialRunError, RoundLimitExceeded, RunMetrics
 from .node import NodeContext
 from .scheduler import RandomDelayScheduler, draw_random_delays
 
 __all__ = [
+    "Adversary",
+    "AsyncScheduler",
     "ComposedAlgorithm",
+    "CrashAdversary",
     "DistributedAlgorithm",
+    "DropAdversary",
+    "DuplicateAdversary",
+    "LatencyAdversary",
+    "NullAdversary",
+    "RetryPolicy",
+    "StackedAdversary",
+    "make_fault_adversary",
+    "random_crash_schedule",
     "BandwidthExceededError",
     "LinkQueue",
     "MAX_PAYLOAD_FIELDS",
     "Message",
     "check_payload",
     "Network",
+    "PartialRunError",
     "RoundLimitExceeded",
     "RunMetrics",
     "NodeContext",

@@ -30,10 +30,26 @@ is in flight and no timer is due are *charged without being executed* —
 the measured round count is identical to executing them one by one, but a
 delay tail costs O(1) instead of O(n x rounds).
 
-Timers are honoured for the top-level algorithm of a ``run`` only;
-:class:`ComposedAlgorithm` therefore rejects stages that declare them
-(stage-local deadlines would be offset by the rounds earlier stages
-consumed).
+:class:`ComposedAlgorithm` supports timer-declaring stages by *rebasing*:
+a stage's ``wake_at_rounds`` are interpreted relative to the stage's own
+start, and at each stage hand-off the engine converts them to absolute
+rounds (``stage_start + offset``).  The composition forwards a
+stage-relative ``current_round`` to the active stage, so a stage behaves
+identically whether it runs standalone or as part of a pipeline (pinned by
+``tests/test_congest_core.py``).
+
+Two further optional hooks round out the protocol:
+
+``pending_timer_work()``
+    Probed by the engine at silent moments of a timer-enabled run: return
+    ``False`` to certify that the remaining declared timers would execute
+    nothing, letting the run terminate early.  Retry/ack modes use this so
+    an un-faulted run does not pay for its full checkpoint schedule.
+``on_crash(node)`` / ``on_recover(node)``
+    Called by the adversarial engine when a node crashes (just *before* its
+    state is wiped, so fleet algorithms can retract the node's entries from
+    shared bookkeeping) and when it recovers (after the wipe; the default
+    re-runs ``initialize``, restoring a blank participant).
 """
 
 from __future__ import annotations
@@ -104,6 +120,23 @@ class DistributedAlgorithm(ABC):
         """
         return node.halted
 
+    def on_crash(self, node: NodeContext) -> None:
+        """Hook: ``node`` is about to crash (its state is wiped right after).
+
+        Override to retract the node's entries from bookkeeping the
+        algorithm object keeps across nodes (fleet label arrays, pending-ack
+        counters); the default does nothing.
+        """
+
+    def on_recover(self, node: NodeContext) -> None:
+        """Hook: ``node`` just recovered from a crash with blank state.
+
+        The default re-runs :meth:`initialize`, so a recovered node rejoins
+        the protocol exactly like a fresh one (a BFS source re-announces, a
+        non-source waits to be reached again).
+        """
+        self.initialize(node)
+
 
 class ComposedAlgorithm(DistributedAlgorithm):
     """Run several algorithms one after another at every node.
@@ -113,6 +146,13 @@ class ComposedAlgorithm(DistributedAlgorithm):
     earlier stages remains in ``node.state`` so later stages can read their
     predecessors' outputs — this is how the distributed shortcut construction
     chains "detect large parts", "number parts" and "grow BFS trees".
+
+    Stages may declare ``wake_at_rounds``: the offsets are interpreted
+    relative to the stage's own start round, and the engine rebases them to
+    absolute rounds at each hand-off (via :meth:`rebase_timers`).  The
+    composition forwards a stage-relative ``current_round``, so a
+    timer-protocol stage (the random-delay scheduler, the retry/ack
+    primitives) behaves identically inside a pipeline and standalone.
     """
 
     name = "composed"
@@ -120,31 +160,46 @@ class ComposedAlgorithm(DistributedAlgorithm):
     def __init__(self, stages: list[DistributedAlgorithm]) -> None:
         if not stages:
             raise ValueError("ComposedAlgorithm needs at least one stage")
-        for stage in stages:
-            if getattr(stage, "wake_at_rounds", ()):
-                raise ValueError(
-                    "ComposedAlgorithm cannot contain timer-declaring stages: "
-                    f"{stage.name!r} declares wake_at_rounds, which the engine "
-                    "honours for the top-level algorithm only"
-                )
         self.stages = stages
         # Stages run one at a time (with global quiescence between them), so
         # the composition is single-channel exactly when every stage is.
         self.single_channel = all(
             getattr(stage, "single_channel", False) for stage in stages
         )
+        self._active_stage = 0
+        self._timer_base = 0
+        # Stage 0 starts at round 0, so its timers need no rebasing.
+        self.wake_at_rounds = tuple(getattr(stages[0], "wake_at_rounds", ()) or ())
 
     def initialize(self, node: NodeContext) -> None:
+        self._active_stage = 0
+        self._timer_base = 0
         node.state["__stage"] = 0
         self.stages[0].initialize(node)
 
     def on_round(self, node: NodeContext, messages: list[Message]) -> None:
-        stage_idx = node.state["__stage"]
-        self.stages[stage_idx].on_round(node, messages)
+        stage = self.stages[node.state["__stage"]]
+        current = self.current_round
+        stage.current_round = None if current is None else current - self._timer_base
+        stage.on_round(node, messages)
 
     def finished(self, node: NodeContext) -> bool:
         stage_idx = node.state["__stage"]
         return stage_idx >= len(self.stages) - 1 and self.stages[-1].finished(node)
+
+    def pending_timer_work(self) -> bool:
+        stage = self.stages[self._active_stage]
+        probe = getattr(stage, "pending_timer_work", None)
+        return True if probe is None else probe()
+
+    def on_crash(self, node: NodeContext) -> None:
+        self.stages[node.state.get("__stage", self._active_stage)].on_crash(node)
+
+    def on_recover(self, node: NodeContext) -> None:
+        # A recovered node rejoins the *current* stage — earlier stages are
+        # globally complete and will not run again.
+        node.state["__stage"] = self._active_stage
+        self.stages[self._active_stage].on_recover(node)
 
     # Called by the engine when a stage is globally quiescent.
     def advance_stage(self, node: NodeContext) -> bool:
@@ -152,7 +207,21 @@ class ComposedAlgorithm(DistributedAlgorithm):
         stage_idx = node.state["__stage"]
         if stage_idx >= len(self.stages) - 1:
             return False
-        node.state["__stage"] = stage_idx + 1
+        next_idx = stage_idx + 1
+        node.state["__stage"] = next_idx
+        if next_idx > self._active_stage:
+            self._active_stage = next_idx
         node.wake()
-        self.stages[stage_idx + 1].initialize(node)
+        self.stages[next_idx].initialize(node)
         return True
+
+    def rebase_timers(self, start_round: int) -> tuple:
+        """Absolute timer rounds of the newly active stage (engine hook).
+
+        Called after a stage hand-off at global round ``start_round``; the
+        stage's declared offsets are relative to its own start, so offset
+        ``t`` maps to absolute round ``start_round + t``.
+        """
+        self._timer_base = start_round
+        offsets = getattr(self.stages[self._active_stage], "wake_at_rounds", ()) or ()
+        return tuple(start_round + t for t in offsets)

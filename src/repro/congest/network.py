@@ -73,7 +73,38 @@ _NO_MESSAGES: list[Message] = []
 
 
 class RoundLimitExceeded(RuntimeError):
-    """Raised when an algorithm fails to reach quiescence within ``max_rounds``."""
+    """Raised when an algorithm fails to reach quiescence within ``max_rounds``.
+
+    The run's progress is not discarded: :attr:`metrics` carries the partial
+    :class:`RunMetrics` accumulated up to the cutoff (``terminated=False``,
+    send counts reconciled against the queued backlog) and
+    :attr:`last_active_set` the number of awake nodes at the moment the
+    limit was hit — together they say *where* a stalled run was stuck.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        metrics: Optional["RunMetrics"] = None,
+        last_active_set: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.metrics = metrics
+        self.last_active_set = last_active_set
+
+
+class PartialRunError(RoundLimitExceeded):
+    """A fault-injected run stalled before quiescence.
+
+    Raised instead of the bare :class:`RoundLimitExceeded` when an
+    adversarial run (``Network.run(..., adversary=...)``) hits
+    ``max_rounds``: under faults a stall usually means the adversary starved
+    a primitive of an un-retried message, and the partial metrics plus the
+    surviving active-set size are the debugging evidence.  Subclasses
+    :class:`RoundLimitExceeded`, so existing ``except`` clauses keep
+    working.
+    """
 
 
 @dataclass
@@ -87,6 +118,12 @@ class RunMetrics:
         max_link_backlog: largest queue length observed on any directed link.
         terminated: ``True`` if the run reached quiescence (as opposed to
             being stopped by ``max_rounds`` with ``raise_on_limit=False``).
+        messages_dropped: messages consumed by the adversary (or addressed
+            to a crashed node) instead of reaching their receiver; always 0
+            in fault-free runs.
+        messages_duplicated: extra at-least-once copies injected by the
+            adversary; always 0 in fault-free runs.
+        crashes / recoveries: node-fault events applied during the run.
     """
 
     rounds: int = 0
@@ -94,6 +131,10 @@ class RunMetrics:
     messages_delivered: int = 0
     max_link_backlog: int = 0
     terminated: bool = False
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    crashes: int = 0
+    recoveries: int = 0
     _edge_counts: Optional[list] = field(default=None, repr=False, compare=False)
     _edge_list: Optional[list] = field(default=None, repr=False, compare=False)
     _per_edge_cache: Optional[dict] = field(default=None, repr=False, compare=False)
@@ -277,6 +318,7 @@ class Network:
         max_rounds: int = 100_000,
         raise_on_limit: bool = True,
         reset: bool = True,
+        adversary=None,
     ) -> RunMetrics:
         """Execute ``algorithm`` until global quiescence.
 
@@ -294,10 +336,25 @@ class Network:
                 a follow-up algorithm that reads earlier algorithms' state;
                 nodes left halted by the earlier run stay halted until this
                 algorithm's ``initialize`` wakes them or a message arrives).
+            adversary: optional :class:`~repro.congest.adversary.Adversary`
+                interposed on the delivery path (message drops/duplication/
+                latency/reordering and scheduled node crashes).  ``None``
+                keeps the fault-free fast path untouched; a no-fault
+                adversary produces bit-identical metrics through the
+                metered ring path.  A stalled adversarial run raises
+                :class:`PartialRunError` instead of the bare limit error.
 
         Returns:
             The :class:`RunMetrics` of the run.
         """
+        if adversary is not None:
+            return self._run_adversarial(
+                algorithm,
+                adversary,
+                max_rounds=max_rounds,
+                raise_on_limit=raise_on_limit,
+                reset=reset,
+            )
         if reset and self._ran:
             self.reset()
         metrics = RunMetrics()
@@ -340,6 +397,11 @@ class Network:
         timer_pos = 0
         if num_timers:
             algorithm.current_round = 0
+        # Opt-in escape hatch for timer schedules that over-provision (retry
+        # checkpoints): at a silent moment, an algorithm whose probe reports
+        # no pending timer-driven work lets the run terminate instead of
+        # charging the remaining (provably no-op) checkpoints.
+        timer_probe = getattr(algorithm, "pending_timer_work", None)
 
         for ctx in nodes:
             ctx._express_pending = pending
@@ -355,7 +417,10 @@ class Network:
         pending_receivers = self._pending_receivers
         while metrics.rounds < max_rounds:
             if not self._active and not pending_receivers and not awake:
-                if timer_pos < num_timers:
+                timers_needed = timer_pos < num_timers
+                if timers_needed and timer_probe is not None and not timer_probe():
+                    timers_needed = False
+                if timers_needed:
                     # Silent but not quiescent: a timer is still pending.
                     # Every round before it provably executes nothing, so
                     # charge the stretch in one step and run the timer round.
@@ -373,6 +438,14 @@ class Network:
                                 advanced = True
                             ctx._sent_this_round.clear()
                         if advanced:
+                            # The newly active stage may declare its own
+                            # deadlines, relative to its start: rebase them
+                            # to absolute rounds at the hand-off point.
+                            timers = algorithm.rebase_timers(metrics.rounds)
+                            num_timers = len(timers)
+                            timer_pos = 0
+                            if num_timers:
+                                algorithm.current_round = metrics.rounds
                             continue
                     metrics.terminated = True
                     metrics.messages_sent = metrics.messages_delivered - backlog_start
@@ -454,12 +527,334 @@ class Network:
                 for m in self._pending[v]:
                     edge_counts[out_links[m.sender][v] >> 1] -= 1
         self._structures_clean = True
+        metrics.terminated = False
         if raise_on_limit:
             raise RoundLimitExceeded(
-                f"algorithm {algorithm.name!r} did not terminate within {max_rounds} rounds"
+                f"algorithm {algorithm.name!r} did not terminate within {max_rounds} rounds",
+                metrics=metrics,
+                last_active_set=len(awake),
             )
-        metrics.terminated = False
         return metrics
+
+    # ------------------------------------------------------------------
+    # adversarial execution
+    # ------------------------------------------------------------------
+    def _run_adversarial(
+        self,
+        algorithm: DistributedAlgorithm,
+        adversary,
+        *,
+        max_rounds: int,
+        raise_on_limit: bool,
+        reset: bool,
+    ) -> RunMetrics:
+        """The fault-injected twin of :meth:`run`.
+
+        Kept as a separate loop so the fault-free hot path stays untouched.
+        Differences from :meth:`run`:
+
+        * always the metered ring path — the express lane has no per-message
+          delivery point for the adversary to interpose on (the oracle suite
+          pins express ≡ ring metrics, so a no-fault adversary remains
+          bit-identical to an adversary-free run);
+        * ``adversary.begin_round`` is consulted every executed round and
+          its crash/recover schedule is merged into the silent-stretch
+          fast-forward, so a jump never skips over a scheduled fault;
+        * hitting ``max_rounds`` raises :class:`PartialRunError` carrying
+          the partial metrics.
+        """
+        if reset and self._ran:
+            self.reset()
+        metrics = RunMetrics()
+        metrics._edge_counts = [0] * self._csr.num_edges
+        metrics._edge_list = self._csr.edge_list
+        backlog_start = self._pending_backlog()
+        self._ran = True
+        self._structures_clean = False
+        if self._pending_receivers:
+            self._flush_pending_to_rings()
+
+        adversary.reset(self)
+        event_rounds: tuple = tuple(adversary.event_rounds())
+        num_events = len(event_rounds)
+        event_pos = 0
+
+        nodes = self._node_list
+        edge_counts = metrics._edge_counts
+        timers: tuple = getattr(algorithm, "wake_at_rounds", ()) or ()
+        num_timers = len(timers)
+        timer_pos = 0
+        if num_timers:
+            algorithm.current_round = 0
+        timer_probe = getattr(algorithm, "pending_timer_work", None)
+
+        crashed: set[int] = set()
+        awake = self._awake
+        inbox_of = self._inbox_of
+
+        # Round-0 events: nodes crashed "before the run" never initialize.
+        events = adversary.begin_round(0)
+        if events:
+            self._apply_fault_events(events, algorithm, crashed, metrics)
+        while event_pos < num_events and event_rounds[event_pos] <= 0:
+            event_pos += 1
+
+        for ctx in nodes:
+            ctx._express_pending = None
+            ctx._edge_counts = edge_counts
+            if ctx.node_id in crashed:
+                continue
+            algorithm.initialize(ctx)
+            ctx._sent_this_round.clear()
+
+        composed = isinstance(algorithm, ComposedAlgorithm)
+        on_round = algorithm.on_round
+        pending_receivers = self._pending_receivers
+        num_nodes = len(nodes)
+
+        while metrics.rounds < max_rounds:
+            if not self._active and not pending_receivers and not awake:
+                timers_needed = timer_pos < num_timers
+                if timers_needed and timer_probe is not None and not timer_probe():
+                    timers_needed = False
+                if timers_needed:
+                    # Jump to the next forced round: the earlier of the next
+                    # algorithm timer and the next scheduled fault event.
+                    forced = timers[timer_pos]
+                    if event_pos < num_events and event_rounds[event_pos] < forced:
+                        forced = event_rounds[event_pos]
+                    jump = forced - 1
+                    if jump > metrics.rounds:
+                        metrics.rounds = jump if jump < max_rounds else max_rounds
+                        if metrics.rounds >= max_rounds:
+                            continue
+                else:
+                    if composed:
+                        advanced = False
+                        for ctx in nodes:
+                            if ctx.node_id in crashed:
+                                continue
+                            if algorithm.advance_stage(ctx):
+                                advanced = True
+                            ctx._sent_this_round.clear()
+                        if advanced:
+                            timers = algorithm.rebase_timers(metrics.rounds)
+                            num_timers = len(timers)
+                            timer_pos = 0
+                            if num_timers:
+                                algorithm.current_round = metrics.rounds
+                            continue
+                    if event_pos < num_events:
+                        # Quiescent, but faults are still scheduled — a
+                        # recovery can re-inject work and a crash wipes
+                        # observable state, so the schedule must play out.
+                        jump = event_rounds[event_pos] - 1
+                        if jump > metrics.rounds:
+                            metrics.rounds = jump if jump < max_rounds else max_rounds
+                            if metrics.rounds >= max_rounds:
+                                continue
+                    else:
+                        metrics.terminated = True
+                        metrics.messages_sent = (
+                            metrics.messages_delivered
+                            + metrics.messages_dropped
+                            - metrics.messages_duplicated
+                            - backlog_start
+                        )
+                        self._structures_clean = True
+                        return metrics
+
+            metrics.rounds += 1
+            round_no = metrics.rounds
+            timer_fired = False
+            if timer_pos < num_timers:
+                algorithm.current_round = round_no
+                if timers[timer_pos] <= round_no:
+                    timer_fired = True
+                    timer_pos += 1
+                    while timer_pos < num_timers and timers[timer_pos] <= round_no:
+                        timer_pos += 1
+            elif num_timers:
+                algorithm.current_round = round_no
+            while event_pos < num_events and event_rounds[event_pos] <= round_no:
+                event_pos += 1
+            events = adversary.begin_round(round_no)
+            if events:
+                self._apply_fault_events(events, algorithm, crashed, metrics)
+
+            receivers = self._deliver_adversarial(metrics, adversary, round_no, crashed)
+
+            if timer_fired:
+                to_run = (
+                    range(num_nodes)
+                    if not crashed
+                    else sorted(set(range(num_nodes)) - crashed)
+                )
+            elif not awake:
+                to_run = sorted(receivers)
+            elif receivers:
+                to_run = sorted(awake.union(receivers))
+            else:
+                to_run = sorted(awake)
+            for v in to_run:
+                ctx = nodes[v]
+                inbox = inbox_of[v]
+                if inbox:
+                    if ctx.halted:
+                        ctx.halted = False
+                        on_round(ctx, inbox)
+                        if not ctx.halted:
+                            awake.add(v)
+                    else:
+                        on_round(ctx, inbox)
+                    inbox.clear()
+                else:
+                    on_round(ctx, _NO_MESSAGES)
+                ctx._sent_this_round.clear()
+
+        metrics.messages_sent = (
+            metrics.messages_delivered
+            + metrics.messages_dropped
+            - metrics.messages_duplicated
+            + self._pending_backlog()
+            - backlog_start
+        )
+        self._structures_clean = True
+        metrics.terminated = False
+        if raise_on_limit:
+            raise PartialRunError(
+                f"algorithm {algorithm.name!r} stalled under adversary "
+                f"{adversary.name!r}: no quiescence within {max_rounds} rounds",
+                metrics=metrics,
+                last_active_set=len(awake),
+            )
+        return metrics
+
+    def _apply_fault_events(self, events, algorithm, crashed: set, metrics: RunMetrics) -> None:
+        """Apply one round's crash/recover events from the adversary."""
+        nodes = self._node_list
+        awake = self._awake
+        inbox_of = self._inbox_of
+        for kind, v in events:
+            if kind == "crash":
+                if v in crashed:
+                    continue
+                crashed.add(v)
+                ctx = nodes[v]
+                # The hook runs before the wipe so fleet algorithms can
+                # retract this node's entries from their shared bookkeeping.
+                algorithm.on_crash(ctx)
+                ctx.state = {}
+                ctx._payload_ok = None
+                ctx.halted = True
+                awake.discard(v)
+                inbox_of[v].clear()
+                metrics.crashes += 1
+            elif kind == "recover":
+                if v not in crashed:
+                    continue
+                crashed.discard(v)
+                ctx = nodes[v]
+                ctx.state = {}
+                ctx._payload_ok = None
+                ctx.halted = False
+                awake.add(v)
+                algorithm.on_recover(ctx)
+                ctx._sent_this_round.clear()
+                metrics.recoveries += 1
+            else:
+                raise ValueError(f"unknown adversary event kind {kind!r}")
+
+    def _deliver_adversarial(
+        self, metrics: RunMetrics, adversary, round_no: int, crashed: set
+    ) -> list[int]:
+        """Ring delivery with the adversary interposed on every message.
+
+        Mirrors :meth:`_deliver` message for message: a no-fault adversary
+        yields identical inbox contents, ordering and metrics.  ``DROP``
+        consumes the message (it occupied the link); ``DUPLICATE`` delivers
+        two copies in the same round; ``HOLD`` freezes the link's queue for
+        this round (FIFO preserved); messages to crashed nodes are
+        discarded and counted as dropped.
+        """
+        active = self._active
+        receivers: list[int] = []
+        if not active:
+            return receivers
+        bandwidth = self.bandwidth
+        queues = self._queues
+        heads = self._heads
+        receiver_of = self._receiver_of
+        link_max = self._link_max_backlog
+        edge_counts = metrics._edge_counts
+        inbox_of = self._inbox_of
+        is_active = self._is_active
+        on_deliver = adversary.on_deliver
+        max_backlog = metrics.max_link_backlog
+        still_active: list[int] = []
+        delivered = 0
+        dropped = 0
+        duplicated = 0
+        for link in active:
+            buf = queues[link]
+            head = heads[link]
+            size = len(buf)
+            receiver = receiver_of[link]
+            edge = link >> 1
+            receiver_crashed = receiver in crashed
+            inbox = inbox_of[receiver]
+            had_mail = bool(inbox)
+            quota = bandwidth
+            while quota and head < size:
+                msg = buf[head]
+                if receiver_crashed:
+                    head += 1
+                    quota -= 1
+                    edge_counts[edge] += 1
+                    dropped += 1
+                    continue
+                action = on_deliver(link, msg, round_no)
+                if action == 3:  # HOLD: freeze this link for the round
+                    break
+                head += 1
+                quota -= 1
+                edge_counts[edge] += 1
+                if action == 1:  # DROP
+                    dropped += 1
+                    continue
+                if action == 2:  # DUPLICATE
+                    inbox.append(msg)
+                    edge_counts[edge] += 1
+                    delivered += 1
+                    duplicated += 1
+                inbox.append(msg)
+                delivered += 1
+            if head >= size:
+                buf.clear()
+                if heads[link]:
+                    heads[link] = 0
+                is_active[link] = 0
+            else:
+                if head > 64 and head * 2 >= size:
+                    del buf[:head]
+                    head = 0
+                heads[link] = head
+                still_active.append(link)
+            if inbox and not had_mail:
+                receivers.append(receiver)
+            lm = link_max[link]
+            if lm > max_backlog:
+                max_backlog = lm
+        if (delivered or dropped) and not max_backlog:
+            # Senders only record backlogs above 1; any consumed message
+            # implies a backlog of at least 1 was observed.
+            max_backlog = 1
+        metrics.max_link_backlog = max_backlog
+        metrics.messages_delivered += delivered
+        metrics.messages_dropped += dropped
+        metrics.messages_duplicated += duplicated
+        active[:] = still_active
+        return receivers
 
     # ------------------------------------------------------------------
     # internals

@@ -55,16 +55,23 @@ import numpy as np
 
 from ...graphs.csr import CSRLinkMask
 from ...rng import RandomLike, ensure_rng
+from ..adversary import Adversary, RetryPolicy
 from ..algorithm import DistributedAlgorithm
 from ..message import Message
 from ..network import Network
 from ..node import NodeContext
 from ..scheduler import draw_random_delays
 from .concurrent_bfs import UNREACHED, ConcurrentMaskedBFS
+from .reliable import ReliableChannel
 from .trees import AGGREGATE_OPS
 
 #: Sentinel distinguishing "no input value at this node" from any real value.
 _MISSING = object()
+
+#: Unit kinds of the retry-mode reliable channel (see :class:`PartAggregation`).
+_ANN = 0
+_UP = 1
+_DOWN = 2
 
 
 class PartAggregation(DistributedAlgorithm):
@@ -91,6 +98,15 @@ class PartAggregation(DistributedAlgorithm):
             non-numeric, e.g. ``(weight, u, v)`` MWOE candidate tuples).
         broadcast_result: push each instance's result back down its tree.
         prefixes: per-instance message-tag prefixes (default ``pa<i>_``).
+        retry: optional :class:`~repro.congest.adversary.RetryPolicy`
+            enabling the drop-tolerant mode: every announce/up/down unit is
+            carried by a :class:`~repro.congest.primitives.reliable.
+            ReliableChannel` (sequence numbers, acks, checkpoint
+            retransmits) over per-instance ``<prefix>rel`` tags, so the
+            protocol completes correctly under message loss.  The channel
+            sends at most one wire message per (instance, neighbour) per
+            round, preserving the CONGEST discipline.  A retry-mode
+            instance is single-run.
 
     Outputs on the algorithm object:
 
@@ -116,6 +132,7 @@ class PartAggregation(DistributedAlgorithm):
         identity: Any = None,
         broadcast_result: bool = True,
         prefixes: Optional[Sequence[str]] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         num = len(masks)
         if not (num == len(parents) == len(values)):
@@ -167,6 +184,15 @@ class PartAggregation(DistributedAlgorithm):
         # Timer protocol: the delays are globally known start rounds, so
         # waiting nodes halt and the engine revives everyone exactly then.
         self.wake_at_rounds = tuple(sorted({d for d in self.delays if d > 0}))
+        self.retry = retry
+        if retry is not None:
+            checkpoints = retry.checkpoints()
+            self._checkpoints = frozenset(checkpoints)
+            self.wake_at_rounds = tuple(sorted(
+                set(self.wake_at_rounds) | set(checkpoints)
+            ))
+            self._tags_rel = [intern(p + "rel") for p in prefixes]
+            self._channel = ReliableChannel(num, self._tags_rel)
 
     # ------------------------------------------------------------------
     def _link_to(self, idx: int, v: int, target: int) -> int:
@@ -188,6 +214,11 @@ class PartAggregation(DistributedAlgorithm):
         e = starts[v + 1]
         if s != e:
             parent = self.parents[idx][v]
+            if self.retry is not None:
+                channel = self._channel
+                for nbr in mask.targets[s:e]:
+                    channel.send_unit(idx, v, nbr, _ANN, parent)
+                return
             node.multicast_links(
                 mask.links[s:e], mask.targets[s:e], self._tags_ann[idx],
                 parent, idx,
@@ -204,10 +235,63 @@ class PartAggregation(DistributedAlgorithm):
                 self._start_instance(lst.pop(0)[1], node)
             if not lst:
                 del self._pending[node.node_id]
+        if self.retry is not None:
+            channel = self._channel
+            channel.flush(node)
+            if channel.has_work(node.node_id):
+                node.wake()
+                return
         node.halt()
 
     # ------------------------------------------------------------------
+    def _on_round_retry(self, node: NodeContext, messages: list[Message]) -> None:
+        v = node.node_id
+        pending = self._pending
+        if pending:
+            lst = pending.get(v)
+            if lst:
+                rnd = self.current_round
+                while lst and lst[0][0] <= rnd:
+                    self._start_instance(lst.pop(0)[1], node)
+                if not lst:
+                    del pending[v]
+        channel = self._channel
+        if messages:
+            touched: list[int] = []
+            for msg in messages:
+                idx = msg.algorithm_id
+                if msg.tag != self._tags_rel[idx]:
+                    continue
+                unit = channel.on_message(idx, v, msg.sender, msg.payload)
+                if unit is None:
+                    continue
+                kind, value = unit
+                if kind == _ANN:
+                    heard = self._heard[idx]
+                    heard[v] = heard.get(v, 0) + 1
+                    if value == v:
+                        self._child_targets[idx].setdefault(v, []).append(msg.sender)
+                    touched.append(idx)
+                elif kind == _UP:
+                    self._child_values[idx].setdefault(v, []).append(value)
+                    touched.append(idx)
+                else:
+                    self._deliver_down(idx, v, node, value)
+            for idx in touched:
+                self._maybe_send_up(idx, v, node)
+        current_round = self.current_round
+        if current_round is not None and current_round in self._checkpoints:
+            channel.at_checkpoint(v)
+        channel.flush(node)
+        if channel.has_work(v):
+            if node.halted:
+                node.wake()
+        else:
+            node.halt()
+
     def on_round(self, node: NodeContext, messages: list[Message]) -> None:
+        if self.retry is not None:
+            return self._on_round_retry(node, messages)
         pending = self._pending
         if pending:
             v = node.node_id
@@ -272,10 +356,13 @@ class PartAggregation(DistributedAlgorithm):
             self.results[idx] = combined
             self._deliver_down(idx, v, node, combined)
         elif parent != UNREACHED:
-            node.send(
-                parent, self._tags_up[idx], combined,
-                algorithm_id=idx,
-            )
+            if self.retry is not None:
+                self._channel.send_unit(idx, v, parent, _UP, combined)
+            else:
+                node.send(
+                    parent, self._tags_up[idx], combined,
+                    algorithm_id=idx,
+                )
         # Unreached nodes have no parent and contribute nothing: after
         # announcing they only relay announcement counts and fall silent.
 
@@ -287,10 +374,43 @@ class PartAggregation(DistributedAlgorithm):
         self.delivered[idx][v] = value
         targets = self._child_targets[idx].get(v)
         if targets:
+            if self.retry is not None:
+                channel = self._channel
+                for nbr in targets:
+                    channel.send_unit(idx, v, nbr, _DOWN, value)
+                return
             node.multicast_links(
                 self._child_links[idx][v], targets, self._tags_down[idx],
                 value, idx,
             )
+
+    # ------------------------------------------------------------------
+    def pending_timer_work(self) -> bool:
+        if self.retry is None:
+            return True
+        # Delayed instance starts are timer-driven too, so the remaining
+        # timers still matter while any start is outstanding.
+        return self._channel.total_pending > 0 or bool(self._pending)
+
+    def on_crash(self, node: NodeContext) -> None:
+        v = node.node_id
+        if self.retry is not None:
+            self._channel.on_crash(v)
+        for idx in range(len(self.masks)):
+            self._heard[idx].pop(v, None)
+            self._child_targets[idx].pop(v, None)
+            self._child_links[idx].pop(v, None)
+            self._child_values[idx].pop(v, None)
+            self._done[idx].discard(v)
+            self.delivered[idx].pop(v, None)
+
+    def on_recover(self, node: NodeContext) -> None:
+        # Passive recovery: re-announcing would increment neighbours'
+        # announcement counts past their mask-degree quota and duplicate
+        # child registrations.  A recovered node rejoins as a silent
+        # relay; the instance's aggregate may degrade (the orchestration
+        # layer surfaces that as a partial run), but never double-counts.
+        node.halt()
 
 
 # ----------------------------------------------------------------------
@@ -335,6 +455,8 @@ def run_part_aggregation(
     max_rounds: int = 200_000,
     suppress_parent_echo: bool = True,
     sparse_labels: bool = True,
+    retry: Optional[RetryPolicy] = None,
+    adversary: Optional[Adversary] = None,
 ) -> FleetAggregationResult:
     """Run the full two-stage aggregation fleet and measure its rounds.
 
@@ -363,6 +485,13 @@ def run_part_aggregation(
             the tree stage (lossless; see ``ConcurrentMaskedBFS``).
         sparse_labels: store tree labels sparsely (right for fleets of many
             small instances; the schedule is identical either way).
+        retry: enable the drop-tolerant ack/retransmit mode in both stages
+            (required for correct results under a lossy ``adversary``).
+        adversary: optional fault injector applied to *both* stage runs
+            (it is re-``reset`` by each run, so e.g. a
+            :class:`~repro.congest.adversary.CrashAdversary` replays its
+            schedule per stage).  Stalled stages raise
+            :class:`~repro.congest.network.PartialRunError`.
     """
     num = len(roots)
     if not (num == len(masks) == len(values)):
@@ -379,16 +508,22 @@ def run_part_aggregation(
         depth_budget, prefixes, network.graph.num_vertices,
         suppress_parent_echo=suppress_parent_echo,
         sparse_labels=sparse_labels,
+        retry=retry,
     )
-    bfs_metrics = network.run(fleet, reset=False, max_rounds=max_rounds)
+    bfs_metrics = network.run(
+        fleet, reset=False, max_rounds=max_rounds, adversary=adversary
+    )
     aggregation = PartAggregation(
         masks, fleet.parent, values, op,
         delays=draw_random_delays(num, max_delay, r),
         identity=identity,
         broadcast_result=broadcast_result,
         prefixes=prefixes,
+        retry=retry,
     )
-    agg_metrics = network.run(aggregation, reset=False, max_rounds=max_rounds)
+    agg_metrics = network.run(
+        aggregation, reset=False, max_rounds=max_rounds, adversary=adversary
+    )
     return FleetAggregationResult(
         results=aggregation.results,
         delivered=aggregation.delivered,
@@ -455,6 +590,8 @@ def aggregate_over_shortcut(
     depth_budget: Optional[int] = None,
     max_rounds: int = 200_000,
     min_simulated_size: int = 2,
+    retry: Optional[RetryPolicy] = None,
+    adversary: Optional[Adversary] = None,
 ) -> ShortcutAggregationResult:
     """Aggregate ``node_values`` inside every part, routed over ``shortcut``.
 
@@ -480,7 +617,8 @@ def aggregate_over_shortcut(
         network: reuse an existing CONGEST network of the host graph
             (reset by the run); one is built when omitted.
         identity, broadcast_result, rng, max_delay, depth_budget,
-            max_rounds: forwarded to :func:`run_part_aggregation`.
+            max_rounds, retry, adversary: forwarded to
+            :func:`run_part_aggregation`.
         min_simulated_size: smallest part size that runs on the simulator.
 
     Returns:
@@ -520,6 +658,7 @@ def aggregate_over_shortcut(
         network, roots, masks, instance_values, op,
         identity=identity, broadcast_result=broadcast_result, rng=rng,
         max_delay=max_delay, depth_budget=depth_budget, max_rounds=max_rounds,
+        retry=retry, adversary=adversary,
     )
     for pos, i in enumerate(simulated):
         if instance_values[pos]:

@@ -50,6 +50,7 @@ from __future__ import annotations
 from sys import intern
 from typing import Optional, Sequence
 
+from ..adversary import RetryPolicy
 from ..algorithm import DistributedAlgorithm
 from ..message import Message
 from ..node import NodeContext
@@ -81,6 +82,16 @@ class ConcurrentMaskedBFS(DistributedAlgorithm):
         suppress_parent_echo: drop the no-op announce back to the adopted
             parent (see the module docstring).  Off by default so the
             schedule stays bit-identical to the generic scheduler oracle.
+        retry: optional :class:`~repro.congest.adversary.RetryPolicy`
+            enabling the drop-tolerant ack/retransmit mode, exactly as in
+            :class:`~repro.congest.primitives.bfs.DistributedBFS`: payloads
+            become ``(dist, root, ack_dist)`` with ``-1`` sentinels, every
+            announcement stays pending until acked at its exact distance,
+            and pending announcements are retransmitted at the policy's
+            checkpoint rounds (timer protocol + ``pending_timer_work``
+            probe).  Echo suppression is ignored in this mode — under loss
+            the "provably useless" echo may be the retransmission a
+            neighbour needs.  A retry-mode instance is single-run.
 
     Outputs are read back from the algorithm object: ``dist``, ``parent``
     and ``root`` are per-instance lists indexed by node id, with
@@ -103,6 +114,7 @@ class ConcurrentMaskedBFS(DistributedAlgorithm):
         *,
         suppress_parent_echo: bool = False,
         sparse_labels: bool = False,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if not (len(sources) == len(masks) == len(delays) == len(prefixes)):
             raise ValueError("sources, masks, delays and prefixes must align")
@@ -138,6 +150,18 @@ class ConcurrentMaskedBFS(DistributedAlgorithm):
         for lst in pending.values():
             lst.sort()
         self._pending = pending
+        self.retry = retry
+        if retry is not None:
+            checkpoints = retry.checkpoints()
+            self.wake_at_rounds = checkpoints
+            self._checkpoints = frozenset(checkpoints)
+            # idx -> {v: {nbr: announced dist}} awaiting acks.
+            self._rt_pending: list[dict[int, dict[int, int]]] = [
+                {} for _ in range(num)
+            ]
+            # v -> set(idx) with un-acked announcements (checkpoint scan).
+            self._rt_nodes: dict[int, set[int]] = {}
+            self._unacked = 0
 
     # ------------------------------------------------------------------
     def _start(self, idx: int, node: NodeContext) -> None:
@@ -158,8 +182,9 @@ class ConcurrentMaskedBFS(DistributedAlgorithm):
     def initialize(self, node: NodeContext) -> None:
         lst = self._pending.get(node.node_id)
         if lst:
+            start = self._start if self.retry is None else self._start_retry
             while lst and lst[0][0] <= 0:
-                self._start(lst.pop(0)[1], node)
+                start(lst.pop(0)[1], node)
             if lst:
                 # Later starts pending: stay awake and tick a round counter
                 # until the last of this source's instances has started.
@@ -168,6 +193,175 @@ class ConcurrentMaskedBFS(DistributedAlgorithm):
                 return
             del self._pending[node.node_id]
         node.halt()
+
+    # ------------------------------------------------------------------
+    # retry/ack mode
+    # ------------------------------------------------------------------
+    def _retry_targets(self, idx: int, v: int) -> list[int]:
+        """Fresh (caller-owned) announce-target list of instance ``idx``."""
+        mask = self.masks[idx]
+        starts = mask.starts
+        return list(mask.targets[starts[v]:starts[v + 1]])
+
+    def _send_retry_idx(self, idx: int, node: NodeContext,
+                        announce: Optional[list[int]],
+                        owed: Optional[dict[int, int]]) -> None:
+        """One send pass for one instance: at most one message per neighbour.
+
+        Announcements carry one piggybacked ack each; leftover acks go out
+        bare — same wire discipline as ``DistributedBFS._send_retry``.
+        """
+        v = node.node_id
+        tag = self.tags[idx]
+        if announce:
+            dist = self.dist[idx][v]
+            root = self.root[idx][v]
+            by_node = self._rt_pending[idx]
+            pend = by_node.get(v)
+            if pend is None:
+                pend = by_node[v] = {}
+                self._rt_nodes.setdefault(v, set()).add(idx)
+            for nbr in announce:
+                ack = -1 if owed is None else owed.pop(nbr, -1)
+                if nbr not in pend:
+                    self._unacked += 1
+                pend[nbr] = dist
+                node.send(nbr, tag, (dist, root, ack), idx)
+        if owed:
+            for nbr, dist in owed.items():
+                node.send(nbr, tag, (-1, -1, dist), idx)
+
+    def _start_retry(self, idx: int, node: NodeContext) -> None:
+        v = node.node_id
+        self.dist[idx][v] = 0
+        self.parent[idx][v] = v
+        self.root[idx][v] = v
+        if 0 < self.max_depth:
+            self._send_retry_idx(idx, node, self._retry_targets(idx, v), None)
+
+    def _on_round_retry(self, node: NodeContext, messages: list[Message]) -> None:
+        v = node.node_id
+        started: list[int] = []
+        keep_ticking = False
+        pending_starts = self._pending
+        if pending_starts:
+            lst = pending_starts.get(v)
+            if lst is not None:
+                rnd = node.state.get("__cmb_round", 0) + 1
+                node.state["__cmb_round"] = rnd
+                while lst and lst[0][0] <= rnd:
+                    started.append(lst.pop(0)[1])
+                if lst:
+                    keep_ticking = True
+                else:
+                    del pending_starts[v]
+        owed: Optional[dict[int, dict[int, int]]] = None  # idx -> {nbr: dist}
+        best: Optional[dict[int, tuple[int, int, int]]] = None
+        for msg in messages:
+            idx = msg.algorithm_id
+            dist, root, ack_dist = msg.payload
+            sender = msg.sender
+            if ack_dist != -1:
+                by_node = self._rt_pending[idx]
+                pend = by_node.get(v)
+                # Exact-distance matching: distances only improve, so a
+                # stale ack cannot clear a fresher pending announcement.
+                if pend is not None and pend.get(sender) == ack_dist:
+                    del pend[sender]
+                    self._unacked -= 1
+                    if not pend:
+                        del by_node[v]
+                        ids = self._rt_nodes.get(v)
+                        if ids is not None:
+                            ids.discard(idx)
+                            if not ids:
+                                del self._rt_nodes[v]
+            if dist != -1:
+                # Every received announcement is owed an ack — including
+                # duplicates, whose previous ack may have been dropped.
+                if owed is None:
+                    owed = {}
+                owed.setdefault(idx, {})[sender] = dist
+                candidate = (dist + 1, root, sender)
+                if best is None:
+                    best = {idx: candidate}
+                else:
+                    prev = best.get(idx)
+                    if prev is None or candidate < prev:
+                        best[idx] = candidate
+        announce: dict[int, list[int]] = {}
+        for idx in started:
+            self.dist[idx][v] = 0
+            self.parent[idx][v] = v
+            self.root[idx][v] = v
+            if 0 < self.max_depth:
+                announce[idx] = self._retry_targets(idx, v)
+        if best is not None:
+            for idx, (nd, root, sender) in best.items():
+                di = self.dist[idx]
+                cur = di[v]
+                if cur == UNREACHED or nd < cur:
+                    di[v] = nd
+                    self.parent[idx][v] = sender
+                    self.root[idx][v] = root
+                    if nd < self.max_depth:
+                        announce[idx] = self._retry_targets(idx, v)
+        current_round = self.current_round
+        if current_round is not None and current_round in self._checkpoints:
+            ids = self._rt_nodes.get(v)
+            if ids:
+                by_idx = self._rt_pending
+                for idx in sorted(ids):
+                    pend = by_idx[idx].get(v)
+                    if not pend:
+                        continue
+                    lst = announce.get(idx)
+                    if lst is None:
+                        announce[idx] = list(pend)
+                    else:
+                        known = set(lst)
+                        lst.extend(nbr for nbr in pend if nbr not in known)
+        if announce or owed:
+            ids = set(announce)
+            if owed:
+                ids.update(owed)
+            for idx in sorted(ids):
+                self._send_retry_idx(
+                    idx, node, announce.get(idx),
+                    None if owed is None else owed.get(idx),
+                )
+        if keep_ticking:
+            if node.halted:
+                node.wake()
+        else:
+            node.halt()
+
+    def pending_timer_work(self) -> bool:
+        return self.retry is None or self._unacked > 0
+
+    def on_crash(self, node: NodeContext) -> None:
+        v = node.node_id
+        if self.retry is not None:
+            ids = self._rt_nodes.pop(v, None)
+            if ids:
+                by_idx = self._rt_pending
+                for idx in ids:
+                    pend = by_idx[idx].pop(v, None)
+                    if pend:
+                        self._unacked -= len(pend)
+        # The labels ARE the node's protocol state (kept off node.state for
+        # speed), so a crash must wipe them in every mode.
+        for idx in range(len(self.sources)):
+            di = self.dist[idx]
+            if isinstance(di, list):
+                if di[v] != UNREACHED:
+                    di[v] = UNREACHED
+                    self.parent[idx][v] = UNREACHED
+                    self.root[idx][v] = UNREACHED
+            else:
+                di.pop(v, None)
+                self.parent[idx].pop(v, None)
+                self.root[idx].pop(v, None)
 
     # ------------------------------------------------------------------
     def _relax(self, idx: int, node: NodeContext, nd: int, root: int, sender: int,
@@ -206,6 +400,8 @@ class ConcurrentMaskedBFS(DistributedAlgorithm):
                     )
 
     def on_round(self, node: NodeContext, messages: list[Message]) -> None:
+        if self.retry is not None:
+            return self._on_round_retry(node, messages)
         pending = self._pending
         if pending:
             v = node.node_id

@@ -1,0 +1,233 @@
+"""A reliable unit-delivery layer for retry/ack primitive modes.
+
+The drop adversary breaks the one assumption every primitive in this
+package shares: that a sent message arrives.  :class:`ReliableChannel`
+restores at-least-once delivery on top of the lossy links using the
+standard sequence-number discipline, packaged so a fleet algorithm (one
+object, many instances) can bolt it on without rewriting its round
+handlers:
+
+* every logical *unit* (an announcement, an up-value, a down-value) gets a
+  per-``(instance, sender, neighbour)`` sequence number and stays *pending*
+  until the receiver acks that exact number;
+* receivers ack every data unit they see (re-acking duplicates, since the
+  previous ack may itself have been dropped) and deduplicate by seen
+  sequence numbers, so retransmissions never double-count;
+* at the retry policy's checkpoint rounds (declared through the engine's
+  timer protocol) all pending units are re-queued for transmission —
+  bounded retries with exponential backoff;
+* each round a node sends at most **one** wire message per (instance,
+  neighbour): one data unit with one piggybacked ack, or a bare ack.  That
+  respects the CONGEST discipline (and the engine's duplicate-send guard)
+  while keeping the congestion the adversary sees honest.
+
+Wire format (flat scalar tuple, within ``MAX_PAYLOAD_FIELDS``)::
+
+    (seq, kind, ack_seq, arity, f0, f1, f2)
+
+``kind`` is the caller's unit type (``-1`` for a bare ack, ``seq`` then
+``-1`` too); ``ack_seq`` is ``-1`` or the sequence number being acked;
+values are scalars (``arity == 0``, value in ``f0``) or tuples of up to
+three scalars (``arity`` = length) — enough for the MWOE candidate triples
+the shortcut consumers aggregate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from ..node import NodeContext
+
+#: ``kind`` of a bare-ack wire message (carries no data unit).
+ACK_ONLY = -1
+
+#: Maximum tuple arity a unit value may have (see the wire format).
+MAX_VALUE_ARITY = 3
+
+
+def encode_value(value: Any) -> tuple[int, Any, Any, Any]:
+    """Flatten a scalar or small tuple into ``(arity, f0, f1, f2)``."""
+    if isinstance(value, tuple):
+        if not 0 < len(value) <= MAX_VALUE_ARITY:
+            raise ValueError(
+                f"reliable units carry tuples of 1..{MAX_VALUE_ARITY} scalars, "
+                f"got {value!r}"
+            )
+        padded = value + (0,) * (MAX_VALUE_ARITY - len(value))
+        return (len(value), padded[0], padded[1], padded[2])
+    return (0, value, 0, 0)
+
+
+def decode_value(arity: int, f0: Any, f1: Any, f2: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if arity == 0:
+        return f0
+    return (f0, f1, f2)[:arity]
+
+
+class ReliableChannel:
+    """Per-(instance, node, neighbour) reliable unit delivery.
+
+    One channel serves a whole fleet algorithm: all bookkeeping lives on
+    the channel (sparse dicts keyed by touched node), matching the
+    package's convention that fleet state stays off ``node.state``.  The
+    host algorithm:
+
+    * queues outgoing units with :meth:`send_unit` (from ``initialize`` or
+      ``on_round``);
+    * feeds every received wire message through :meth:`on_message` and
+      processes the decoded unit when one is returned;
+    * calls :meth:`at_checkpoint` at its retry checkpoints and
+      :meth:`flush` once per round per node, then keeps the node awake
+      while :meth:`has_work` is true;
+    * exposes ``total_pending`` through its ``pending_timer_work`` probe so
+      fully-acked runs skip the remaining checkpoints.
+    """
+
+    def __init__(self, num_instances: int, tags: Sequence[str]) -> None:
+        if len(tags) != num_instances:
+            raise ValueError("need exactly one message tag per instance")
+        self.tags = list(tags)
+        num = num_instances
+        # idx -> {v: {nbr: next sequence number}}
+        self._next_seq: list[dict[int, dict[int, int]]] = [{} for _ in range(num)]
+        # idx -> {v: {nbr: {seq: encoded unit}}} awaiting ack
+        self._pending: list[dict[int, dict[int, dict[int, tuple]]]] = [
+            {} for _ in range(num)
+        ]
+        # idx -> {v: {nbr: [seq, ...]}} queued for (re)transmission, FIFO
+        self._outq: list[dict[int, dict[int, list[int]]]] = [{} for _ in range(num)]
+        # idx -> {v: {nbr: [seq, ...]}} acks owed, FIFO
+        self._ackq: list[dict[int, dict[int, list[int]]]] = [{} for _ in range(num)]
+        # idx -> {v: {sender: set(seq)}} data units already processed
+        self._seen: list[dict[int, dict[int, set[int]]]] = [{} for _ in range(num)]
+        # v -> set(idx) with queued traffic (drives wake/halt decisions)
+        self._work: dict[int, set[int]] = {}
+        #: Units sent but not yet acked, across all instances and nodes.
+        self.total_pending = 0
+
+    # ------------------------------------------------------------------
+    def send_unit(self, idx: int, v: int, nbr: int, kind: int, value: Any) -> None:
+        """Queue one unit from ``v`` to ``nbr`` on instance ``idx``."""
+        seqs = self._next_seq[idx].setdefault(v, {})
+        seq = seqs.get(nbr, 0)
+        seqs[nbr] = seq + 1
+        arity, f0, f1, f2 = encode_value(value)
+        self._pending[idx].setdefault(v, {}).setdefault(nbr, {})[seq] = (
+            kind, arity, f0, f1, f2,
+        )
+        self.total_pending += 1
+        self._outq[idx].setdefault(v, {}).setdefault(nbr, []).append(seq)
+        self._work.setdefault(v, set()).add(idx)
+
+    def on_message(self, idx: int, v: int, sender: int, payload: tuple
+                   ) -> Optional[tuple[int, Any]]:
+        """Process one wire message; return ``(kind, value)`` for new units.
+
+        Handles the piggybacked ack, queues the ack this unit is owed, and
+        returns ``None`` for bare acks and already-seen duplicates.
+        """
+        seq, kind, ack_seq, arity, f0, f1, f2 = payload
+        if ack_seq != ACK_ONLY:
+            by_nbr = self._pending[idx].get(v)
+            if by_nbr is not None:
+                units = by_nbr.get(sender)
+                if units is not None and ack_seq in units:
+                    del units[ack_seq]
+                    self.total_pending -= 1
+                    if not units:
+                        del by_nbr[sender]
+                        if not by_nbr:
+                            del self._pending[idx][v]
+        if kind == ACK_ONLY:
+            return None
+        # Always (re-)ack a data unit: the previous ack may have been lost.
+        self._ackq[idx].setdefault(v, {}).setdefault(sender, []).append(seq)
+        self._work.setdefault(v, set()).add(idx)
+        seen = self._seen[idx].setdefault(v, {}).setdefault(sender, set())
+        if seq in seen:
+            return None
+        seen.add(seq)
+        return kind, decode_value(arity, f0, f1, f2)
+
+    def at_checkpoint(self, v: int) -> None:
+        """Re-queue every pending (un-acked) unit of node ``v``."""
+        for idx, by_node in enumerate(self._pending):
+            by_nbr = by_node.get(v)
+            if not by_nbr:
+                continue
+            outq = self._outq[idx].setdefault(v, {})
+            for nbr, units in by_nbr.items():
+                queue = outq.setdefault(nbr, [])
+                queued = set(queue)
+                queue.extend(seq for seq in sorted(units) if seq not in queued)
+                if queue:
+                    self._work.setdefault(v, set()).add(idx)
+
+    def flush(self, node: NodeContext, algorithm_ids: Optional[Sequence[int]] = None
+              ) -> None:
+        """Send at most one wire message per (instance, neighbour).
+
+        Pops one queued data unit per neighbour (piggybacking one owed
+        ack), or a bare ack when only acks are owed; leftovers keep the
+        node marked as having work for the next round.
+        """
+        v = node.node_id
+        work = self._work.get(v)
+        if not work:
+            return
+        ids = sorted(work) if algorithm_ids is None else [
+            idx for idx in algorithm_ids if idx in work
+        ]
+        for idx in ids:
+            tag = self.tags[idx]
+            outq = self._outq[idx].get(v) or {}
+            ackq = self._ackq[idx].get(v) or {}
+            pending = self._pending[idx].get(v) or {}
+            busy = False
+            for nbr in sorted(set(outq) | set(ackq)):
+                acks = ackq.get(nbr)
+                ack_seq = acks.pop(0) if acks else ACK_ONLY
+                if acks is not None and not acks:
+                    del ackq[nbr]
+                queue = outq.get(nbr)
+                unit = None
+                seq = ACK_ONLY
+                while queue:
+                    candidate = queue.pop(0)
+                    units = pending.get(nbr)
+                    if units is not None and candidate in units:
+                        seq = candidate
+                        unit = units[candidate]
+                        break
+                if queue is not None and not queue:
+                    outq.pop(nbr, None)
+                if unit is not None:
+                    kind, arity, f0, f1, f2 = unit
+                    node.send(nbr, tag, (seq, kind, ack_seq, arity, f0, f1, f2),
+                              algorithm_id=idx)
+                elif ack_seq != ACK_ONLY:
+                    node.send(nbr, tag, (ACK_ONLY, ACK_ONLY, ack_seq, 0, 0, 0, 0),
+                              algorithm_id=idx)
+                if outq.get(nbr) or ackq.get(nbr):
+                    busy = True
+            if not busy:
+                work.discard(idx)
+        if not work:
+            del self._work[v]
+
+    def has_work(self, v: int) -> bool:
+        """Whether node ``v`` still has queued units or acks to send."""
+        return v in self._work
+
+    def on_crash(self, v: int) -> None:
+        """Wipe node ``v``'s channel state (its memory is lost)."""
+        for idx in range(len(self.tags)):
+            by_nbr = self._pending[idx].pop(v, None)
+            if by_nbr:
+                self.total_pending -= sum(len(units) for units in by_nbr.values())
+            self._outq[idx].pop(v, None)
+            self._ackq[idx].pop(v, None)
+            self._seen[idx].pop(v, None)
+            self._next_seq[idx].pop(v, None)
+        self._work.pop(v, None)

@@ -620,11 +620,61 @@ class TestTimerProtocol:
         assert metrics.terminated
         assert net.node(0).state["a1_dist"] == 3  # delayed BFS did run
 
-    def test_composed_rejects_timer_declaring_stages(self):
-        algos = [DistributedBFS({0}, prefix="x_", algorithm_id=0)]
-        sched = RandomDelayScheduler(algos, [2])
-        with pytest.raises(ValueError):
-            ComposedAlgorithm([FloodMax(), sched])
+    def test_composed_timer_stage_matches_sequential_runs(self):
+        # A timer-declaring stage inside a composition must behave exactly
+        # as if it had been run standalone after its predecessor (stage
+        # timers are rebased to the hand-off round): same metrics totals,
+        # same outputs.
+        g = grid_graph(4, 4)
+
+        def scheduler():
+            algos = [
+                DistributedBFS({0}, prefix="s0_", algorithm_id=0),
+                DistributedBFS({15}, prefix="s1_", algorithm_id=1),
+            ]
+            return RandomDelayScheduler(algos, [0, 7])
+
+        seq_net = Network(g)
+        first = seq_net.run(FloodMax())
+        second = seq_net.run(scheduler(), reset=False)
+
+        comp_net = Network(g)
+        composed = comp_net.run(ComposedAlgorithm([FloodMax(), scheduler()]))
+
+        assert composed.terminated
+        assert composed.rounds == first.rounds + second.rounds
+        assert composed.messages_sent == first.messages_sent + second.messages_sent
+        assert composed.messages_delivered == (
+            first.messages_delivered + second.messages_delivered
+        )
+        for v in range(16):
+            assert comp_net.node(v).state["s0_dist"] == seq_net.node(v).state["s0_dist"]
+            assert comp_net.node(v).state["s1_dist"] == seq_net.node(v).state["s1_dist"]
+
+    def test_composed_timer_stage_first_matches_standalone(self):
+        # Stage 0's timers need no rebasing; a later stage after the timer
+        # stage still runs correctly.
+        g = path_graph(6)
+
+        def scheduler():
+            algos = [
+                DistributedBFS({0}, prefix="s0_", algorithm_id=0),
+                DistributedBFS({5}, prefix="s1_", algorithm_id=1),
+            ]
+            return RandomDelayScheduler(algos, [0, 9])
+
+        seq_net = Network(g)
+        first = seq_net.run(scheduler())
+        second = seq_net.run(FloodMax(), reset=False)
+
+        comp_net = Network(g)
+        composed = comp_net.run(ComposedAlgorithm([scheduler(), FloodMax()]))
+
+        assert composed.terminated
+        assert composed.rounds == first.rounds + second.rounds
+        assert composed.messages_sent == first.messages_sent + second.messages_sent
+        for v in range(6):
+            assert comp_net.node(v).state["s1_dist"] == seq_net.node(v).state["s1_dist"]
 
     def test_composed_stages_unaffected_by_timer_protocol(self):
         g = grid_graph(4, 4)

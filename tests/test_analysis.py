@@ -190,7 +190,7 @@ class TestRunAllOrder:
         from repro.analysis import run_all_experiments
 
         tables = run_all_experiments(fast=True, seed=1)
-        assert [t.experiment_id for t in tables] == [f"E{i}" for i in range(1, 15)]
+        assert [t.experiment_id for t in tables] == [f"E{i}" for i in range(1, 16)]
 
     def test_run_all_forwards_seed_in_full_mode(self, monkeypatch):
         # Regression: fast=False used to build empty overrides, leaving every

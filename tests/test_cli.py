@@ -263,3 +263,48 @@ class TestGenerateCommand:
     def test_family_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["generate", "--n", "50"])
+
+
+@pytest.mark.faults
+class TestFaultFlags:
+    def test_mst_exact_under_drops(self, capsys):
+        code = main([
+            "mst", "--engine", "shortcut", "--n", "80", "--seed", "3",
+            "--drop-rate", "0.05", "--adversary-seed", "7",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault model     : drop_rate=0.05, crashes=0" in out
+        assert "weights match   : True" in out
+
+    def test_mst_analytic_engine_rejects_faults(self, capsys):
+        code = main(["mst", "--engine", "analytic", "--drop-rate", "0.1"])
+        assert code == 2
+        assert "simulated engine" in capsys.readouterr().err
+
+    def test_components_exact_under_drops(self, capsys):
+        code = main([
+            "components", "--n", "40", "--pieces", "2", "--seed", "3",
+            "--drop-rate", "0.05", "--adversary-seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "labels match    : True" in out
+
+    def test_shortcut_survival_projection(self, capsys):
+        args = [
+            "shortcut", "--n", "150", "--seed", "2",
+            "--drop-rate", "0.2", "--crash", "2", "--adversary-seed", "9",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "edges lost" in first and "surv congestion" in first
+        lost = int(first.split("edges lost      : ")[1].split(" /")[0])
+        assert lost > 0
+        # The projection is seed-deterministic.
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_clean_run_prints_no_fault_lines(self, capsys):
+        assert main(["mst", "--engine", "shortcut", "--n", "60", "--seed", "3"]) == 0
+        assert "fault model" not in capsys.readouterr().out

@@ -31,6 +31,8 @@ TINY_PARAMS: dict[str, dict[str, object]] = {
     "E12": {"n": 150, "log_factors": (0.1, 0.5), "seed": 5},
     "E13": {"sizes": (200,), "seed": 5},
     "E14": {"part_sizes": (30,), "seed": 5},
+    "E15": {"families": ("torus",), "size": 32, "drop_rates": (0.0, 0.1),
+            "crash_counts": (0,), "seed": 5},
 }
 
 
