@@ -41,7 +41,6 @@ from typing import Optional
 
 from ..congest.adversary import (
     RetryPolicy,
-    derive_seed_or_none,
     make_fault_adversary,
 )
 from ..congest.network import Network
@@ -49,7 +48,7 @@ from ..congest.primitives.aggregation import aggregate_over_shortcut
 from ..graphs.components import UnionFind
 from ..graphs.graph import Graph
 from ..graphs.traversal import max_component_diameter
-from ..rng import RandomLike, ensure_rng
+from ..rng import RandomLike, derive_seed, ensure_rng
 from ..shortcuts.baselines import build_empty_shortcut
 from ..shortcuts.kogan_parter import build_kogan_parter_shortcut
 from ..shortcuts.partition import Partition
@@ -116,7 +115,9 @@ def shortcut_connected_components(
             aggregates make the phase retry within the phase budget
             (everyone is alive again between phases).
         adversary_seed: base seed of all fault randomness (per-phase
-            streams derived from it; ``None`` = OS entropy).
+            streams derived from it; with ``None`` it is derived from an
+            int ``rng`` seed, and required when ``rng`` is a generator
+            instance — fault streams are never drawn from OS entropy).
         recover_after: revive crashed nodes after this many rounds
             (``None`` = no recovery).
         retry: override the default :class:`RetryPolicy` used when faults
@@ -140,6 +141,17 @@ def shortcut_connected_components(
         diameter_value = max_component_diameter(graph, exact=False)
 
     faulty = drop_rate > 0.0 or crashes > 0
+    if faulty and adversary_seed is None:
+        # Fault streams must be reproducible (lint rule RPR001 bans the old
+        # OS-entropy fallback): derive a default from an int rng seed, or
+        # demand an explicit one.
+        if isinstance(rng, int) and not isinstance(rng, bool):
+            adversary_seed = derive_seed(rng, "components-faults")
+        else:
+            raise ValueError(
+                "drop_rate/crashes need a reproducible fault stream: pass "
+                "adversary_seed=<int> (or an int rng seed to derive it from)"
+            )
     if faulty and retry is None:
         retry = RetryPolicy()
 
@@ -171,7 +183,7 @@ def shortcut_connected_components(
         if faulty:
             adversary = make_fault_adversary(
                 drop_rate, crashes,
-                seed=derive_seed_or_none(adversary_seed, "components-phase", phase),
+                seed=derive_seed(adversary_seed, "components-phase", phase),
                 num_vertices=n, recover_after=recover_after,
             )
         outcome = aggregate_over_shortcut(

@@ -32,8 +32,8 @@ analytic charge.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass, field
+from random import Random
 from typing import Optional
 
 from ..congest.network import Network
@@ -216,7 +216,7 @@ def _simulate_mwoe_phase(
     adjacency_of: dict[int, dict[int, set[int]]],
     candidates: dict[int, tuple[float, int, int]],
     *,
-    rng: random.Random,
+    rng: Random,
     max_rounds: int,
 ) -> dict:
     """Simulate one phase's MWOE selection; return rounds and per-fragment winners."""

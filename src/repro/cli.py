@@ -23,7 +23,10 @@ writing a script:
 * ``experiments`` — run one or all of the EXPERIMENTS.md tables
                     (``--workers N`` shards the sweep cells over N worker
                     processes; the tables stay bit-identical to a serial
-                    run).
+                    run);
+* ``lint``        — run the AST-based invariant checker over the given
+                    paths (``repro lint src tests``); exit code 1 when any
+                    error-severity finding survives suppression.
 
 Every command takes ``--seed`` and is deterministic.
 """
@@ -166,6 +169,22 @@ def build_parser() -> argparse.ArgumentParser:
                                   "-1 = all cores); tables are bit-identical at "
                                   "every worker count except declared timing "
                                   "columns (E13's wall_s)")
+
+    lint = sub.add_parser(
+        "lint", help="check the repository's reproducibility invariants"
+    )
+    lint.add_argument("paths", nargs="*", default=["src", "tests"],
+                      help="files or directories to lint (default: src tests)")
+    lint.add_argument("--rule", action="append", dest="rules", metavar="RPRNNN",
+                      help="run only this rule id (repeatable)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format; json is byte-stable (sorted "
+                           "findings, fixed key order)")
+    lint.add_argument("--root", default=".",
+                      help="project root for config lookup and relative "
+                           "paths (default: cwd)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rule table and exit")
     return parser
 
 
@@ -393,6 +412,35 @@ def _command_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the lint package is pure stdlib but irrelevant to
+    # every other subcommand.
+    from pathlib import Path
+
+    from .lint import (
+        format_json,
+        format_rule_table,
+        format_text,
+        has_errors,
+        lint_paths,
+    )
+
+    if args.list_rules:
+        print(format_rule_table())
+        return 0
+    try:
+        findings = lint_paths(args.paths, root=Path(args.root),
+                              rules=args.rules)
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(format_json(findings))
+    else:
+        print(format_text(findings))
+    return 1 if has_errors(findings) else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -404,6 +452,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "components": _command_components,
         "generate": _command_generate,
         "experiments": _command_experiments,
+        "lint": _command_lint,
     }
     return handlers[args.command](args)
 

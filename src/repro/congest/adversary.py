@@ -38,14 +38,22 @@ engine calls at the start of every run.  Two runs with the same seed
 therefore see the identical fault pattern — the property the hypothesis
 determinism tests pin — and an adversary instance can be reused across runs
 without state leaking from one run into the next.
+
+A seed is **required**: the OS-entropy fallback every randomized adversary
+used to carry (``seed=None`` -> ``ensure_rng(None)``) was exactly the class
+of leak PR 5 had to hand-hunt out of ``quality_report``, and is now banned
+by lint rule RPR001.  Pass an int (re-derived per run — reproducible even
+when the instance is reused) or a ``random.Random`` you own (the stream
+continues across runs; reuse then forfeits per-run reproducibility).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from random import Random
+from typing import Iterable, Optional, Sequence, Union
 
-from ..rng import RandomLike, derive_rng, ensure_rng
+from ..rng import RandomLike, derive_rng, derive_seed
 from .message import Message
 
 #: Delivery actions returned by :meth:`Adversary.on_deliver`.
@@ -98,13 +106,51 @@ class NullAdversary(Adversary):
     name = "null"
 
 
-class DropAdversary(Adversary):
+def _require_seed(seed: RandomLike, name: str) -> Union[int, Random]:
+    """Reject the ``None`` (OS entropy) seed the adversaries used to allow."""
+    if seed is None:
+        raise ValueError(
+            f"the {name} adversary draws randomness and requires an explicit "
+            "seed (an int, or a random.Random you own); OS-entropy fallbacks "
+            "are banned — thread a seed from make_fault_adversary or the "
+            "CLI --adversary-seed"
+        )
+    if isinstance(seed, bool) or not isinstance(seed, (int, Random)):
+        raise TypeError(f"adversary seed must be an int or random.Random, "
+                        f"got {type(seed).__name__}")
+    return seed
+
+
+class SeededAdversary(Adversary):
+    """Base for adversaries that draw randomness.
+
+    Holds the required-seed convention in one place: an int seed is
+    re-derived into a fresh stream at every :meth:`reset` (same seed, same
+    fault pattern, even when the instance is reused across runs); a
+    ``random.Random`` is used as-is, so the caller controls — and is
+    responsible for — the stream's lifecycle.
+    """
+
+    def __init__(self, *, seed: RandomLike) -> None:
+        self.seed = _require_seed(seed, self.name)
+        self._rng = self._fresh_rng()
+
+    def _fresh_rng(self) -> Random:
+        if isinstance(self.seed, Random):
+            return self.seed
+        return derive_rng(self.seed, "adversary", self.name)
+
+    def reset(self, network) -> None:
+        self._rng = self._fresh_rng()
+
+
+class DropAdversary(SeededAdversary):
     """Drop each message independently with probability ``rate``.
 
     Args:
         rate: default per-message drop probability in ``[0, 1)``.
-        seed: base seed for the per-run fault stream (``None`` = OS entropy,
-            which forfeits reproducibility).
+        seed: required base seed for the per-run fault stream (an int, or a
+            ``random.Random`` whose stream the caller owns).
         per_edge_rates: optional overrides keyed by canonical undirected
             edge ``(u, v)`` with ``u < v``; both directions of the edge use
             the override.
@@ -116,23 +162,18 @@ class DropAdversary(Adversary):
         self,
         rate: float,
         *,
-        seed: RandomLike = None,
+        seed: RandomLike,
         per_edge_rates: Optional[dict[tuple[int, int], float]] = None,
     ) -> None:
         if not 0.0 <= rate < 1.0:
             raise ValueError("drop rate must be in [0, 1)")
         self.rate = rate
-        self.seed = seed
         self.per_edge_rates = dict(per_edge_rates) if per_edge_rates else None
-        self._rng = ensure_rng(None)
         self._rate_of: Optional[list[float]] = None
+        super().__init__(seed=seed)
 
     def reset(self, network) -> None:
-        self._rng = (
-            derive_rng(self.seed, "adversary", self.name)
-            if self.seed is not None
-            else ensure_rng(None)
-        )
+        super().reset(network)
         self._rate_of = None
         if self.per_edge_rates:
             edge_index = {e: i for i, e in enumerate(network.graph.csr().edge_list)}
@@ -154,24 +195,16 @@ class DropAdversary(Adversary):
         return DELIVER
 
 
-class DuplicateAdversary(Adversary):
+class DuplicateAdversary(SeededAdversary):
     """Deliver each message twice with probability ``rate`` (at-least-once)."""
 
     name = "duplicate"
 
-    def __init__(self, rate: float, *, seed: RandomLike = None) -> None:
+    def __init__(self, rate: float, *, seed: RandomLike) -> None:
         if not 0.0 <= rate < 1.0:
             raise ValueError("duplicate rate must be in [0, 1)")
         self.rate = rate
-        self.seed = seed
-        self._rng = ensure_rng(None)
-
-    def reset(self, network) -> None:
-        self._rng = (
-            derive_rng(self.seed, "adversary", self.name)
-            if self.seed is not None
-            else ensure_rng(None)
-        )
+        super().__init__(seed=seed)
 
     def on_deliver(self, link: int, message: Message, round_no: int) -> int:
         if self.rate and self._rng.random() < self.rate:
@@ -179,7 +212,7 @@ class DuplicateAdversary(Adversary):
         return DELIVER
 
 
-class LatencyAdversary(Adversary):
+class LatencyAdversary(SeededAdversary):
     """Per-message link jitter: each queue head waits 0..``max_delay`` rounds.
 
     This generalizes the random-delay scheduler's whole-stage delays to
@@ -191,20 +224,15 @@ class LatencyAdversary(Adversary):
 
     name = "latency"
 
-    def __init__(self, max_delay: int, *, seed: RandomLike = None) -> None:
+    def __init__(self, max_delay: int, *, seed: RandomLike) -> None:
         if max_delay < 0:
             raise ValueError("max_delay must be non-negative")
         self.max_delay = max_delay
-        self.seed = seed
-        self._rng = ensure_rng(None)
         self._release: dict[int, int] = {}
+        super().__init__(seed=seed)
 
     def reset(self, network) -> None:
-        self._rng = (
-            derive_rng(self.seed, "adversary", self.name)
-            if self.seed is not None
-            else ensure_rng(None)
-        )
+        super().reset(network)
         self._release = {}
 
     def on_deliver(self, link: int, message: Message, round_no: int) -> int:
@@ -221,7 +249,7 @@ class LatencyAdversary(Adversary):
         return HOLD
 
 
-class AsyncScheduler(Adversary):
+class AsyncScheduler(SeededAdversary):
     """Adversarial asynchronous delivery, FIFO per link.
 
     Each round, each backlogged link is independently held with probability
@@ -235,7 +263,7 @@ class AsyncScheduler(Adversary):
     name = "async"
 
     def __init__(
-        self, hold_prob: float = 0.5, *, max_hold: int = 8, seed: RandomLike = None
+        self, hold_prob: float = 0.5, *, max_hold: int = 8, seed: RandomLike
     ) -> None:
         if not 0.0 <= hold_prob < 1.0:
             raise ValueError("hold_prob must be in [0, 1)")
@@ -243,16 +271,11 @@ class AsyncScheduler(Adversary):
             raise ValueError("max_hold must be at least 1")
         self.hold_prob = hold_prob
         self.max_hold = max_hold
-        self.seed = seed
-        self._rng = ensure_rng(None)
         self._held: dict[int, int] = {}
+        super().__init__(seed=seed)
 
     def reset(self, network) -> None:
-        self._rng = (
-            derive_rng(self.seed, "adversary", self.name)
-            if self.seed is not None
-            else ensure_rng(None)
-        )
+        super().reset(network)
         self._held = {}
 
     def on_deliver(self, link: int, message: Message, round_no: int) -> int:
@@ -409,18 +432,17 @@ def random_crash_schedule(
     Crashes hit ``num_crashes`` distinct nodes (never the ``protect`` set,
     e.g. BFS roots) at rounds uniform in ``[1, max_round]``; with
     ``recover_after`` each node recovers that many rounds after its crash.
+    The schedule is drawn once, here, so the seed is required up front.
     """
-    rng = (
-        derive_rng(seed, "adversary", "crash-schedule")
-        if seed is not None
-        else ensure_rng(None)
-    )
     protected = set(protect)
     eligible = [v for v in range(num_vertices) if v not in protected]
     if num_crashes > len(eligible):
         raise ValueError(
             f"cannot crash {num_crashes} of {len(eligible)} eligible nodes"
         )
+    seed = _require_seed(seed, "crash-schedule")
+    rng = (seed if isinstance(seed, Random)
+           else derive_rng(seed, "adversary", "crash-schedule"))
     victims = rng.sample(eligible, num_crashes)
     crash_rounds = {v: rng.randint(1, max_round) for v in victims}
     recover_rounds = (
@@ -435,7 +457,7 @@ def make_fault_adversary(
     drop_rate: float = 0.0,
     crashes: int = 0,
     *,
-    seed: RandomLike = None,
+    seed: Optional[int] = None,
     num_vertices: Optional[int] = None,
     max_crash_round: int = 64,
     recover_after: Optional[int] = None,
@@ -445,35 +467,34 @@ def make_fault_adversary(
 
     Returns ``None`` when both knobs are zero (callers then skip the
     adversarial path entirely), a single adversary when one knob is set,
-    and a :class:`StackedAdversary` when both are.
+    and a :class:`StackedAdversary` when both are.  Any active knob
+    requires an explicit int ``seed``; the layers' independent streams are
+    derived from it.
     """
+    if not drop_rate and not crashes:
+        return None
+    if crashes and num_vertices is None:
+        raise ValueError("crashes > 0 requires num_vertices")
+    if seed is None or not isinstance(seed, int) or isinstance(seed, bool):
+        raise ValueError(
+            "fault injection requires an explicit int adversary seed "
+            "(thread one from the consumer's adversary_seed knob or the "
+            "CLI --adversary-seed)"
+        )
     layers: list[Adversary] = []
     if drop_rate:
-        layers.append(DropAdversary(drop_rate, seed=derive_seed_or_none(seed, "drop")))
+        layers.append(DropAdversary(drop_rate, seed=derive_seed(seed, "drop")))
     if crashes:
-        if num_vertices is None:
-            raise ValueError("crashes > 0 requires num_vertices")
         layers.append(
             random_crash_schedule(
                 crashes,
                 num_vertices,
                 max_round=max_crash_round,
-                seed=derive_seed_or_none(seed, "crash"),
+                seed=derive_seed(seed, "crash"),
                 recover_after=recover_after,
                 protect=protect,
             )
         )
-    if not layers:
-        return None
     if len(layers) == 1:
         return layers[0]
     return StackedAdversary(layers)
-
-
-def derive_seed_or_none(seed: RandomLike, *path) -> Optional[int]:
-    """Derive a sub-seed, preserving ``None`` (= explicit OS entropy)."""
-    from ..rng import derive_seed
-
-    if seed is None:
-        return None
-    return derive_seed(seed, *path)

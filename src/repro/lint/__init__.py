@@ -1,0 +1,51 @@
+"""``repro.lint`` — AST-based invariant checking for the reproduction.
+
+The runtime test suite pins the repository's determinism guarantees
+(parallel == serial sweeps, NullAdversary == clean engine, derived-seed
+reproducibility) *after the fact*; this package holds them *statically*, so
+the recurring class of bug that breaks them — an OS-entropy fallback buried
+in library code, a mutated timer declaration, an unpicklable cell runner —
+is caught at lint time instead of as a flaky sweep.
+
+Entry points:
+
+* ``repro lint [paths] [--rule ...] [--format text|json]`` (CLI);
+* :func:`lint_paths` (library; the test suite drives it directly);
+* configuration under ``[tool.repro.lint]`` in ``pyproject.toml``;
+* inline suppressions: ``# repro: noqa[RPR001] — why it is safe here``.
+
+See the README "Static analysis" section for the rule table.
+"""
+
+from .config import LintConfig, load_config, parse_lint_table
+from .findings import ERROR, WARNING, Finding
+from .registry import RULES, Rule
+from .runner import (
+    discover_files,
+    format_json,
+    format_rule_table,
+    format_text,
+    has_errors,
+    lint_paths,
+    select_rules,
+)
+from .suppress import SUPPRESSION_RULE_ID
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "LintConfig",
+    "RULES",
+    "Rule",
+    "SUPPRESSION_RULE_ID",
+    "discover_files",
+    "format_json",
+    "format_rule_table",
+    "format_text",
+    "has_errors",
+    "lint_paths",
+    "load_config",
+    "parse_lint_table",
+    "select_rules",
+]

@@ -1,0 +1,169 @@
+"""Configuration: the ``[tool.repro.lint]`` block of ``pyproject.toml``.
+
+The config controls which rules run (``select``/``ignore``/``warn``) and how
+paths are classified (``library-paths``, ``wallclock-exempt``,
+``seed-boundaries``, ``exclude``).  All path values are POSIX-style prefixes
+relative to the project root (the directory holding ``pyproject.toml``).
+
+Python 3.10 has no ``tomllib``, and this repository adds no dependencies, so
+loading falls back to :func:`parse_lint_table` — a minimal parser for the
+one table this package reads (string / bool / int scalars and string lists,
+possibly multi-line).  The test suite pins the fallback parser against
+``tomllib`` on the repo's own ``pyproject.toml`` wherever ``tomllib``
+exists, so the two loaders cannot drift.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved lint configuration (defaults match the repo layout)."""
+
+    #: Rule ids to run (empty = every registered rule).
+    select: tuple[str, ...] = ()
+    #: Rule ids to skip entirely.
+    ignore: tuple[str, ...] = ()
+    #: Rule ids reported as warnings (never affect the exit code).
+    warn: tuple[str, ...] = ()
+    #: Path prefixes never linted (fixture corpora with intentional
+    #: violations live here).
+    exclude: tuple[str, ...] = ()
+    #: Paths holding library code — the scope of the determinism rules.
+    library_paths: tuple[str, ...] = ("src",)
+    #: Paths where wall-clock reads (RPR003) are legitimate.
+    wallclock_exempt: tuple[str, ...] = ("benchmarks",)
+    #: Library files allowed to construct OS-entropy generators (RPR001):
+    #: the explicit seed boundary of the codebase, normally empty because
+    #: even ``repro.rng`` itself never calls ``ensure_rng(None)`` statically.
+    seed_boundaries: tuple[str, ...] = ()
+    #: Names of module-level registries whose values must be picklable
+    #: module functions (RPR020/RPR021).
+    cell_registries: tuple[str, ...] = ("CELL_RUNNERS",)
+
+
+def _normalize_key(key: str) -> str:
+    return key.replace("-", "_")
+
+
+def config_from_mapping(data: Mapping[str, Any]) -> LintConfig:
+    """Build a :class:`LintConfig` from a raw TOML table (kebab or snake)."""
+    known = {f.name for f in fields(LintConfig)}
+    values: dict[str, Any] = {}
+    for key, value in data.items():
+        name = _normalize_key(key)
+        if name not in known:
+            raise ValueError(f"unknown [tool.repro.lint] key {key!r}")
+        if isinstance(value, (list, tuple)):
+            values[name] = tuple(str(item) for item in value)
+        else:
+            raise ValueError(
+                f"[tool.repro.lint] key {key!r} must be a list of strings"
+            )
+    return replace(LintConfig(), **values)
+
+
+def load_config(root: Path) -> LintConfig:
+    """Load the config from ``root/pyproject.toml`` (defaults if absent)."""
+    pyproject = Path(root) / "pyproject.toml"
+    if not pyproject.is_file():
+        return LintConfig()
+    text = pyproject.read_text(encoding="utf-8")
+    if sys.version_info >= (3, 11):
+        import tomllib
+
+        table = (
+            tomllib.loads(text)
+            .get("tool", {})
+            .get("repro", {})
+            .get("lint", {})
+        )
+    else:  # pragma: no cover - exercised on 3.10 CI only
+        table = parse_lint_table(text)
+    return config_from_mapping(table)
+
+
+def path_is_under(relpath: str, prefix: str) -> bool:
+    """True when POSIX ``relpath`` equals or lives under ``prefix``."""
+    prefix = prefix.rstrip("/")
+    if prefix in ("", "."):
+        return True
+    return relpath == prefix or relpath.startswith(prefix + "/")
+
+
+# ----------------------------------------------------------------------
+# Fallback parser (Python 3.10: no tomllib, no added dependencies).
+# ----------------------------------------------------------------------
+_STRING_RE = re.compile(r'"((?:[^"\\]|\\.)*)"|\'([^\']*)\'')
+
+
+def parse_lint_table(text: str, table: str = "tool.repro.lint") -> dict[str, Any]:
+    """Extract one TOML table using a minimal, dependency-free parser.
+
+    Supports exactly the value shapes the lint config uses: double- or
+    single-quoted strings, booleans, integers, and (possibly multi-line)
+    lists of strings.  Comments and other tables are ignored.
+    """
+    lines = text.splitlines()
+    in_table = False
+    result: dict[str, Any] = {}
+    pending_key: Optional[str] = None
+    pending_value = ""
+    for raw in lines:
+        line = raw.strip()
+        if pending_key is None:
+            if line.startswith("["):
+                in_table = line == f"[{table}]"
+                continue
+            if not in_table or not line or line.startswith("#"):
+                continue
+            if "=" not in line:
+                continue
+            key, _, value = line.partition("=")
+            pending_key, pending_value = key.strip(), value.strip()
+        else:
+            pending_value += " " + line
+        if pending_value.startswith("[") and _brackets_open(pending_value):
+            continue  # multi-line list: keep accumulating
+        result[pending_key] = _parse_value(pending_value)
+        pending_key, pending_value = None, ""
+    return result
+
+
+def _brackets_open(value: str) -> bool:
+    depth = 0
+    for match in re.finditer(r'"(?:[^"\\]|\\.)*"|\'[^\']*\'|[\[\]#]', value):
+        token = match.group(0)
+        if token == "[":
+            depth += 1
+        elif token == "]":
+            depth -= 1
+        elif token == "#":
+            break
+    return depth > 0
+
+
+def _parse_value(value: str) -> Any:
+    value = value.strip()
+    if value.startswith("["):
+        body = value[1:value.rindex("]")]
+        return [
+            m.group(1) if m.group(1) is not None else m.group(2)
+            for m in _STRING_RE.finditer(body)
+        ]
+    string = _STRING_RE.match(value)
+    if string is not None:
+        return string.group(1) if string.group(1) is not None else string.group(2)
+    bare = value.split("#", 1)[0].strip()
+    if bare in ("true", "false"):
+        return bare == "true"
+    try:
+        return int(bare)
+    except ValueError:
+        raise ValueError(f"unsupported TOML value in lint config: {value!r}")

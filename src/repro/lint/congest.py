@@ -1,0 +1,204 @@
+"""CONGEST protocol rules (RPR010-RPR012).
+
+The round engine trusts three structural declarations an algorithm class
+makes, and silently produces wrong metrics (or wrong runs) when the code
+drifts from them.  Each rule mechanizes one declaration:
+
+* RPR010 — ``single_channel = True`` promises at most one message per
+  directed link per round, which holds exactly when the class sends on a
+  single algorithm id (the express delivery lane skips the duplicate-send
+  guard on this promise).  A single-channel class must therefore pass
+  ``algorithm_id`` as a constant or the instance's own
+  ``self.algorithm_id`` — a *varying* id (loop index, arithmetic over a
+  base id) is channel multiplexing, which needs the metered ring path.
+* RPR011 — ``on_crash``/``on_recover`` are engine hooks with the fixed
+  shape ``(self, node)``; an override with a different signature raises
+  only when a fault actually hits that node, i.e. in the middle of an
+  adversarial sweep.
+* RPR012 — the engine snapshots ``wake_at_rounds`` when a run (or a
+  composed stage) starts; assigning it later in the algorithm's lifecycle
+  silently changes nothing.  Writes are allowed only in ``__init__`` /
+  ``on_start`` / ``initialize`` and helpers reachable from them via
+  ``self.<method>()`` calls.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from .context import ModuleContext, class_level_flag, class_methods, self_calls
+from .findings import Finding
+from .registry import rule
+
+#: Messaging methods of NodeContext and the 0-based position of their
+#: ``algorithm_id`` parameter.
+MESSAGING_METHODS = {
+    "send": 3,
+    "multicast": 3,
+    "multicast_links": 4,
+    "broadcast": 2,
+}
+
+#: Methods that run before the engine snapshots an algorithm's timers.
+TIMER_SETUP_METHODS = frozenset({"__init__", "on_start", "initialize"})
+
+
+def _algorithm_id_arg(call: ast.Call, position: int) -> Optional[ast.expr]:
+    for keyword in call.keywords:
+        if keyword.arg == "algorithm_id":
+            return keyword.value
+    if len(call.args) > position:
+        return call.args[position]
+    return None
+
+
+def _simple_assignments(func: ast.FunctionDef) -> dict[str, ast.expr]:
+    """Last ``name = <expr>`` binding for each plain local of ``func``."""
+    assigns: dict[str, ast.expr] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                assigns[target.id] = node.value
+    return assigns
+
+
+def _is_constant_channel(expr: ast.expr,
+                         assigns: dict[str, ast.expr],
+                         depth: int = 0) -> bool:
+    """True when ``expr`` is a per-instance-constant algorithm id."""
+    if isinstance(expr, ast.Constant):
+        return True
+    if (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"):
+        return True
+    if isinstance(expr, ast.Name) and depth < 8:
+        bound = assigns.get(expr.id)
+        if bound is not None:
+            return _is_constant_channel(bound, assigns, depth + 1)
+    return False
+
+
+@rule(
+    "RPR010", "single-channel-no-multiplex",
+    description=(
+        "a `single_channel = True` algorithm promises one message per link "
+        "per round; sending with a varying algorithm_id multiplexes "
+        "channels and breaks the express-lane delivery proof"
+    ),
+)
+def check_single_channel(module: ModuleContext) -> Iterator[Finding]:
+    for cls in module.classes():
+        if not class_level_flag(cls, "single_channel"):
+            continue
+        for method in class_methods(cls).values():
+            assigns = _simple_assignments(method)
+            for node in ast.walk(method):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)):
+                    continue
+                position = MESSAGING_METHODS.get(node.func.attr)
+                if position is None:
+                    continue
+                channel = _algorithm_id_arg(node, position)
+                if channel is None:
+                    continue
+                if not _is_constant_channel(channel, assigns):
+                    yield module.finding(
+                        node, "RPR010",
+                        f"single-channel class {cls.name} passes a varying "
+                        f"algorithm_id to {node.func.attr}(); multiplexed "
+                        "channels violate the one-message-per-link promise "
+                        "(drop `single_channel` or fix the id)",
+                    )
+
+
+def _is_algorithm_class(cls: ast.ClassDef, module: ModuleContext) -> bool:
+    for base in cls.bases:
+        name = module.resolve(base)
+        if name is not None and name.split(".")[-1].endswith("Algorithm"):
+            return True
+    return False
+
+
+@rule(
+    "RPR011", "crash-hook-signature",
+    description=(
+        "`on_crash`/`on_recover` overrides must match the engine hook "
+        "signature `(self, node)` — a mismatch only surfaces mid-sweep, "
+        "when a fault first hits the node"
+    ),
+)
+def check_crash_hooks(module: ModuleContext) -> Iterator[Finding]:
+    for cls in module.classes():
+        if not _is_algorithm_class(cls, module):
+            continue
+        for name, method in class_methods(cls).items():
+            if name not in ("on_crash", "on_recover"):
+                continue
+            args = method.args
+            positional = list(args.posonlyargs) + list(args.args)
+            ok = (len(positional) == 2
+                  and args.vararg is None
+                  and args.kwarg is None
+                  and not args.kwonlyargs)
+            if not ok:
+                yield module.finding(
+                    method, "RPR011",
+                    f"{cls.name}.{name} must match the engine hook "
+                    "signature `(self, node)`; extra, missing, or variadic "
+                    "parameters fail only when a fault fires",
+                )
+
+
+@rule(
+    "RPR012", "timers-declared-up-front",
+    description=(
+        "`wake_at_rounds` is snapshotted at run/stage start; assign it "
+        "only from `__init__`/`on_start`/`initialize`-reachable code — "
+        "later writes are silently ignored by the engine"
+    ),
+)
+def check_timer_declaration(module: ModuleContext) -> Iterator[Finding]:
+    for cls in module.classes():
+        methods = class_methods(cls)
+        writes: list[tuple[str, ast.AST]] = []
+        for name, method in methods.items():
+            for node in ast.walk(method):
+                target: Optional[ast.expr] = None
+                if isinstance(node, ast.Assign):
+                    for t in node.targets:
+                        if _is_self_wake_attr(t):
+                            target = t
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    if _is_self_wake_attr(node.target):
+                        target = node.target
+                if target is not None:
+                    writes.append((name, node))
+        if not writes:
+            continue
+        reachable = set(TIMER_SETUP_METHODS)
+        frontier = [m for m in TIMER_SETUP_METHODS if m in methods]
+        while frontier:
+            called = self_calls(methods[frontier.pop()])
+            for callee in called:
+                if callee in methods and callee not in reachable:
+                    reachable.add(callee)
+                    frontier.append(callee)
+        for method_name, node in writes:
+            if method_name not in reachable:
+                yield module.finding(
+                    node, "RPR012",
+                    f"{cls.name}.{method_name} assigns self.wake_at_rounds "
+                    "after setup: the engine snapshots timers at run/stage "
+                    "start, so this write is silently ignored",
+                )
+
+
+def _is_self_wake_attr(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Attribute)
+            and node.attr == "wake_at_rounds"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self")

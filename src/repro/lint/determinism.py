@@ -1,0 +1,197 @@
+"""Determinism rules (RPR001-RPR004).
+
+The reproduction's headline guarantee is that every result is a pure
+function of its seed: parallel sweeps are bit-identical to serial ones,
+same-seed runs are bit-identical across processes.  Each rule here bans one
+statically recognizable way that guarantee has been (or could be) broken:
+
+* RPR001 — the exact bug PR 5 had to hand-hunt: ``ensure_rng(None)`` (or an
+  argless ``random.Random()``) buried in library code silently draws OS
+  entropy, so two same-seed runs diverge.  Seeds must be threaded from the
+  caller; only files listed in ``seed-boundaries`` may open one.
+* RPR002 — the module-level ``random.*`` functions share one hidden global
+  stream (and ``random.seed`` reseeds it for everyone); library code must
+  draw from an injected ``random.Random``.
+* RPR003 — wall-clock and OS entropy reads (``time.time``, ``os.urandom``,
+  ``uuid.uuid4``, ...) make output depend on when/where the code ran;
+  they belong only in the timing harnesses under ``wallclock-exempt``
+  paths (declared-nondeterministic columns such as E13's ``wall_s``
+  carry a justifying ``# repro: noqa[RPR003]``).
+* RPR004 — materializing a ``set`` into an ordered collection
+  (``list(set(...))``, a comprehension over a set literal) leaks the
+  hash-randomized iteration order into results; wrap in ``sorted`` or
+  iterate a deterministic sequence.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .context import ModuleContext
+from .findings import Finding
+from .registry import SCOPE_LIBRARY, SCOPE_NON_WALLCLOCK, rule
+
+#: Wall-clock / OS-entropy reads banned outside the timing harnesses.
+WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "os.urandom", "uuid.uuid4", "uuid.uuid1",
+})
+
+#: ``random`` module attributes that are legitimate in library code: the
+#: generator classes, not the hidden-global-stream functions.
+RANDOM_CLASS_NAMES = frozenset({"Random", "SystemRandom"})
+
+#: Callables that consume an iterable order-insensitively: feeding a bare
+#: set straight into one of these cannot leak iteration order.
+ORDER_NORMALIZERS = frozenset({
+    "sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset",
+})
+
+
+def _is_none_or_missing(call: ast.Call) -> bool:
+    """True for a call with no arguments or a single literal ``None``."""
+    if call.keywords:
+        return False
+    if not call.args:
+        return True
+    return (len(call.args) == 1
+            and isinstance(call.args[0], ast.Constant)
+            and call.args[0].value is None)
+
+
+@rule(
+    "RPR001", "no-entropy-fallback", scope=SCOPE_LIBRARY,
+    description=(
+        "library code must not open an OS-entropy generator "
+        "(`ensure_rng(None)`, argless `random.Random()`): thread an "
+        "explicit seed/rng from the caller (PR 5's quality_report fix)"
+    ),
+)
+def check_entropy_fallback(module: ModuleContext) -> Iterator[Finding]:
+    if module.is_seed_boundary:
+        return
+    for call in module.calls():
+        name = module.resolve(call.func)
+        if name is None:
+            continue
+        if (name == "ensure_rng" or name.endswith(".ensure_rng")):
+            if _is_none_or_missing(call):
+                yield module.finding(
+                    call, "RPR001",
+                    "ensure_rng(None) draws OS entropy in library code; "
+                    "require an explicit seed/rng from the caller",
+                )
+        elif name == "random.Random" or name.endswith(".random.Random"):
+            if _is_none_or_missing(call):
+                yield module.finding(
+                    call, "RPR001",
+                    "argless random.Random() draws OS entropy in library "
+                    "code; construct it from an explicit seed",
+                )
+
+
+@rule(
+    "RPR002", "no-global-random-stream", scope=SCOPE_LIBRARY,
+    description=(
+        "no module-level `random.*` calls (or `from random import "
+        "shuffle/...`): the hidden global stream breaks seed isolation; "
+        "draw from an injected random.Random"
+    ),
+)
+def check_global_random(module: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if (module.resolve(node.func.value) == "random"
+                    and node.func.attr not in RANDOM_CLASS_NAMES):
+                yield module.finding(
+                    node, "RPR002",
+                    f"random.{node.func.attr}() uses the hidden module-level "
+                    "stream; draw from an injected random.Random instead",
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random" and node.level == 0:
+                for alias in node.names:
+                    if alias.name not in RANDOM_CLASS_NAMES:
+                        yield module.finding(
+                            node, "RPR002",
+                            f"`from random import {alias.name}` binds the "
+                            "hidden module-level stream; import the Random "
+                            "class and inject an instance instead",
+                        )
+
+
+@rule(
+    "RPR003", "no-wallclock-entropy", scope=SCOPE_NON_WALLCLOCK,
+    description=(
+        "no time.time/perf_counter, os.urandom, or uuid4 outside the "
+        "benchmark harnesses: results must not depend on when or where "
+        "they were produced"
+    ),
+)
+def check_wallclock(module: ModuleContext) -> Iterator[Finding]:
+    for call in module.calls():
+        name = module.resolve(call.func)
+        if name is None:
+            continue
+        if name in WALLCLOCK_CALLS or any(
+                name.endswith("." + target) for target in WALLCLOCK_CALLS):
+            yield module.finding(
+                call, "RPR003",
+                f"{name} reads wall-clock/OS entropy; only the benchmark "
+                "harnesses may (or suppress with a justification if the "
+                "column is declared nondeterministic)",
+            )
+
+
+def _is_set_expr(node: ast.expr, module: ModuleContext) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = module.resolve(node.func)
+        return name in ("set", "frozenset")
+    return False
+
+
+def _consumed_by_normalizer(node: ast.AST, module: ModuleContext) -> bool:
+    parent = module.parent(node)
+    if not isinstance(parent, ast.Call) or node not in parent.args:
+        return False
+    name = module.resolve(parent.func)
+    return name in ORDER_NORMALIZERS
+
+
+@rule(
+    "RPR004", "no-set-order-escape", scope=SCOPE_LIBRARY,
+    description=(
+        "iterating a bare set into an ordered collection (list(set(...)), "
+        "a comprehension over a set) leaks hash order into results; "
+        "wrap in sorted(...)"
+    ),
+)
+def check_set_order_escape(module: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            name = module.resolve(node.func)
+            if (name in ("list", "tuple") and len(node.args) == 1
+                    and not node.keywords
+                    and _is_set_expr(node.args[0], module)
+                    and not _consumed_by_normalizer(node, module)):
+                yield module.finding(
+                    node, "RPR004",
+                    f"{name}() over a bare set leaks hash-randomized "
+                    "iteration order into an ordered collection; use "
+                    "sorted(...) or a deterministic sequence",
+                )
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            first = node.generators[0]
+            if (_is_set_expr(first.iter, module)
+                    and not _consumed_by_normalizer(node, module)):
+                yield module.finding(
+                    node, "RPR004",
+                    "comprehension over a bare set leaks hash-randomized "
+                    "iteration order; iterate sorted(...) or a "
+                    "deterministic sequence",
+                )

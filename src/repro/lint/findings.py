@@ -1,0 +1,45 @@
+"""The finding record every lint rule emits.
+
+A :class:`Finding` is one diagnosed violation, addressed by file / line /
+column.  Findings order and compare by ``(path, line, col, rule)`` — the
+message never participates — which is what makes ``repro lint --format
+json`` byte-stable across runs and machines: the runner sorts findings and
+the serialization has no environment-dependent field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Severities.  Errors fail the run (exit code 1); warnings are reported
+#: but do not affect the exit code (rules are downgraded per-config via
+#: ``warn = ["RPR0xx"]``).
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str = field(compare=False)
+    severity: str = field(default=ERROR, compare=False)
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-ready mapping with a fixed key order."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The one-line text form (``path:line:col: RULE message``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

@@ -1,0 +1,182 @@
+"""Parallel-cell purity rules (RPR020-RPR021).
+
+The parallel experiment executor pickles each :class:`CellTask` and runs it
+in a worker process; the registered cell runner is looked up by name when
+the worker imports the module.  That round trip imposes two purity
+constraints that nothing at call time enforces:
+
+* RPR020 — registry values (``CELL_RUNNERS`` by default; configurable via
+  ``cell-registries``) must be module-level functions.  Lambdas, closures
+  and ``partial`` objects either fail to pickle or — worse — pickle a stale
+  binding; either way the serial fallback masks the bug on 1-core machines.
+* RPR021 — a cell runner re-imported in a worker sees the module's globals
+  *freshly initialized*, not the parent process's mutated copies.  Reading
+  or writing a lowercase (mutable-by-convention) module global is therefore
+  a serial/parallel divergence waiting to happen; only UPPER_CASE constants
+  (and module-level functions/classes/imports) are safe to touch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .context import ModuleContext
+from .findings import Finding
+from .registry import rule
+
+
+def _module_level_names(tree: ast.Module) -> tuple[set[str], set[str], set[str]]:
+    """(function/class/import names, assigned-variable names, lambda/call names)."""
+    callables: set[str] = set()
+    variables: set[str] = set()
+    suspect: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            callables.add(stmt.name)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                callables.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target])
+            value = stmt.value if not isinstance(stmt, ast.AugAssign) else None
+            for target in targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        variables.add(name_node.id)
+                        if isinstance(value, (ast.Lambda, ast.Call)):
+                            suspect.add(name_node.id)
+        elif isinstance(stmt, (ast.For, ast.While, ast.With)):
+            for name_node in ast.walk(stmt):
+                if (isinstance(name_node, ast.Name)
+                        and isinstance(name_node.ctx, ast.Store)):
+                    variables.add(name_node.id)
+    return callables, variables, suspect
+
+
+def _registry_values(module: ModuleContext) -> Iterator[tuple[ast.expr, str, ast.AST]]:
+    """Yield ``(value_expr, registry_name, enclosing_function_or_None)``."""
+    registries = set(module.config.cell_registries)
+    enclosing: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for child in ast.walk(node):
+                enclosing.setdefault(child, node)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if value is None:
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if (isinstance(target, ast.Name) and target.id in registries
+                    and isinstance(value, ast.Dict)):
+                for entry in value.values:
+                    yield entry, target.id, enclosing.get(node)
+            elif (isinstance(target, ast.Subscript)
+                  and isinstance(target.value, ast.Name)
+                  and target.value.id in registries):
+                yield value, target.value.id, enclosing.get(node)
+
+
+@rule(
+    "RPR020", "cell-runners-module-level",
+    description=(
+        "registered CELL_RUNNERS must be module-level functions: lambdas, "
+        "closures and constructed callables break (or silently skew) the "
+        "pickle-by-reference dispatch to worker processes"
+    ),
+)
+def check_cell_runner_registration(module: ModuleContext) -> Iterator[Finding]:
+    _, _, suspect = _module_level_names(module.tree)
+    for value, registry, function in _registry_values(module):
+        reason: str | None = None
+        if isinstance(value, ast.Lambda):
+            reason = "a lambda"
+        elif isinstance(value, ast.Call):
+            reason = "a constructed callable (partial/factory result)"
+        elif isinstance(value, ast.Name):
+            if function is not None and _defined_inside(value.id, function):
+                reason = "a closure (function defined inside another function)"
+            elif value.id in suspect:
+                reason = "a module-level lambda/constructed callable"
+        elif not isinstance(value, ast.Attribute):
+            reason = "not a function reference"
+        if reason is not None:
+            yield module.finding(
+                value, "RPR020",
+                f"{registry} entry is {reason}; register a module-level "
+                "function so worker processes can pickle it by reference",
+            )
+
+
+def _defined_inside(name: str, function: ast.AST) -> bool:
+    for node in ast.walk(function):
+        if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == name):
+            return True
+    return False
+
+
+def _is_constant_name(name: str) -> bool:
+    return name == name.upper()
+
+
+@rule(
+    "RPR021", "cell-runners-no-mutable-globals",
+    description=(
+        "cell runners execute in worker processes with freshly imported "
+        "modules: touching a non-UPPER_CASE module global diverges from "
+        "the serial path; pass state through the cell's kwargs"
+    ),
+)
+def check_cell_runner_globals(module: ModuleContext) -> Iterator[Finding]:
+    callables, variables, _ = _module_level_names(module.tree)
+    mutable_globals = {v for v in variables
+                       if v not in callables and not _is_constant_name(v)}
+    runner_names = {value.id for value, _, _ in _registry_values(module)
+                    if isinstance(value, ast.Name)}
+    functions = {stmt.name: stmt for stmt in module.tree.body
+                 if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))}
+    for name in sorted(runner_names & set(functions)):
+        func = functions[name]
+        local_names = _local_bindings(func)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                yield module.finding(
+                    node, "RPR021",
+                    f"cell runner {name} rebinds module globals via "
+                    "`global`; workers never see the rebinding — return "
+                    "the value from the cell instead",
+                )
+            elif (isinstance(node, ast.Name)
+                  and isinstance(node.ctx, ast.Load)
+                  and node.id in mutable_globals
+                  and node.id not in local_names):
+                yield module.finding(
+                    node, "RPR021",
+                    f"cell runner {name} reads module global {node.id!r}, "
+                    "which is re-initialized in worker processes; pass it "
+                    "through the cell's kwargs or make it an UPPER_CASE "
+                    "constant",
+                )
+
+
+def _local_bindings(func: ast.FunctionDef) -> set[str]:
+    args = func.args
+    names = {a.arg for a in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    )}
+    if args.vararg is not None:
+        names.add(args.vararg.arg)
+    if args.kwarg is not None:
+        names.add(args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)) and node is not func:
+            names.add(node.name)
+    return names

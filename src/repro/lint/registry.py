@@ -1,0 +1,94 @@
+"""The rule registry.
+
+Every rule is a module-level check function decorated with :func:`rule`; the
+decorator records id, human name, scope, severity and rationale in
+:data:`RULES`.  The runner consults the registry to decide which rules apply
+to a file (scope + config selection) and the CLI renders it for
+``repro lint --list-rules``.
+
+Scopes
+------
+``SCOPE_ALL``
+    The rule applies to every linted file.
+``SCOPE_LIBRARY``
+    The rule only applies to library code (paths under the config's
+    ``library-paths``, default ``src``).  Tests may legitimately use bare
+    ``random`` streams; library code may not.
+``SCOPE_NON_WALLCLOCK``
+    The rule applies everywhere except the config's ``wallclock-exempt``
+    paths (default ``benchmarks``) — timing harnesses are the one place
+    wall-clock reads belong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, TYPE_CHECKING
+
+from .findings import ERROR, Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from .context import ModuleContext
+
+SCOPE_ALL = "all"
+SCOPE_LIBRARY = "library"
+SCOPE_NON_WALLCLOCK = "non-wallclock"
+
+CheckFn = Callable[["ModuleContext"], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule: identity, applicability, and its check."""
+
+    rule_id: str
+    name: str
+    description: str
+    scope: str
+    severity: str
+    check: CheckFn | None
+
+    def run(self, module: "ModuleContext") -> Iterator[Finding]:
+        if self.check is None:
+            return iter(())
+        return iter(self.check(module))
+
+
+#: All registered rules, keyed by id.  Populated at import time by the rule
+#: modules (determinism / congest / purity) and the suppression machinery.
+RULES: dict[str, Rule] = {}
+
+
+def rule(
+    rule_id: str,
+    name: str,
+    *,
+    description: str,
+    scope: str = SCOPE_ALL,
+    severity: str = ERROR,
+) -> Callable[[CheckFn], CheckFn]:
+    """Register a check function under ``rule_id`` (decorator)."""
+
+    def decorate(check: CheckFn) -> CheckFn:
+        register(rule_id, name, description=description, scope=scope,
+                 severity=severity, check=check)
+        return check
+
+    return decorate
+
+
+def register(
+    rule_id: str,
+    name: str,
+    *,
+    description: str,
+    scope: str = SCOPE_ALL,
+    severity: str = ERROR,
+    check: CheckFn | None = None,
+) -> Rule:
+    """Register a rule (used directly for engine-synthesized rules)."""
+    if rule_id in RULES:
+        raise ValueError(f"duplicate lint rule id {rule_id!r}")
+    entry = Rule(rule_id, name, description, scope, severity, check)
+    RULES[rule_id] = entry
+    return entry

@@ -1,0 +1,133 @@
+"""Inline suppressions: ``# repro: noqa[RPR001]``.
+
+A suppression comment names the rule ids it silences on its own line
+(comma-separated inside the brackets; trailing prose after the bracket is
+encouraged — a suppression should say *why*).  Suppressions are themselves
+linted by the synthesized rule :data:`SUPPRESSION_RULE_ID`:
+
+* a suppression that silenced nothing this run is *unused* — it outlived
+  the violation it excused and must be deleted, or it will silently excuse
+  the next regression on that line;
+* a bare ``# repro: noqa`` (no bracket list) is *malformed* — blanket
+  suppressions hide unrelated future findings, so the rule list is
+  mandatory;
+* a suppression naming an unregistered rule id is reported too (usually a
+  typo, which would otherwise turn the suppression into a no-op).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+from .findings import Finding
+from .registry import RULES, register
+
+SUPPRESSION_RULE_ID = "RPR090"
+
+register(
+    SUPPRESSION_RULE_ID,
+    "suppression-hygiene",
+    description=(
+        "`# repro: noqa[RULE,...]` comments must list valid rule ids and "
+        "must actually suppress a finding; stale or malformed suppressions "
+        "are reported so they cannot mask future regressions."
+    ),
+)
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?P<bracket>\[(?P<rules>[^\]]*)\])?", re.IGNORECASE
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    malformed: bool
+    used: bool = False
+
+
+def collect_suppressions(source: str) -> list[Suppression]:
+    """Parse every ``# repro: noqa[...]`` comment of a source file."""
+    suppressions: list[Suppression] = []
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _NOQA_RE.search(token.string)
+        if match is None:
+            continue
+        if match.group("bracket") is None:
+            suppressions.append(Suppression(token.start[0], (), malformed=True))
+            continue
+        rules = tuple(
+            part.strip().upper()
+            for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        suppressions.append(
+            Suppression(token.start[0], rules, malformed=not rules)
+        )
+    return suppressions
+
+
+def apply_suppressions(
+    findings: list[Finding],
+    suppressions: list[Suppression],
+    relpath: str,
+    enabled: frozenset[str] | None = None,
+) -> list[Finding]:
+    """Filter suppressed findings and report suppression-hygiene issues.
+
+    ``enabled`` is the set of rule ids that actually ran on this file: a
+    suppression is only judged *unused* when at least one of the rules it
+    names ran (a partial ``--rule`` invocation must not report the other
+    rules' suppressions as stale).
+    """
+    by_line: dict[int, list[Suppression]] = {}
+    for suppression in suppressions:
+        by_line.setdefault(suppression.line, []).append(suppression)
+
+    kept: list[Finding] = []
+    for finding in findings:
+        suppressed = False
+        for suppression in by_line.get(finding.line, ()):
+            if finding.rule in suppression.rules:
+                suppression.used = True
+                suppressed = True
+        if not suppressed:
+            kept.append(finding)
+
+    hygiene = RULES[SUPPRESSION_RULE_ID]
+    for suppression in suppressions:
+        if suppression.malformed:
+            kept.append(Finding(
+                relpath, suppression.line, 1, SUPPRESSION_RULE_ID,
+                "malformed suppression: use `# repro: noqa[RPR0xx]` with an "
+                "explicit rule list (blanket noqa is not allowed)",
+                hygiene.severity,
+            ))
+            continue
+        unknown = [r for r in suppression.rules if r not in RULES]
+        for rule_id in unknown:
+            kept.append(Finding(
+                relpath, suppression.line, 1, SUPPRESSION_RULE_ID,
+                f"suppression names unknown rule {rule_id}",
+                hygiene.severity,
+            ))
+        ran = (enabled is None
+               or any(r in enabled for r in suppression.rules))
+        if not suppression.used and not unknown and ran:
+            listed = ",".join(suppression.rules)
+            kept.append(Finding(
+                relpath, suppression.line, 1, SUPPRESSION_RULE_ID,
+                f"unused suppression for {listed}: no finding on this line "
+                "is silenced by it — delete the noqa",
+                hygiene.severity,
+            ))
+    return kept

@@ -58,8 +58,8 @@ from __future__ import annotations
 
 import gc
 import math
-import random
 from contextlib import contextmanager
+from random import Random
 from dataclasses import dataclass
 from typing import Optional
 
@@ -379,7 +379,7 @@ def _run_single_guess(
     log_factor: float,
     probability: Optional[float],
     depth_budget_factor: float,
-    rng: random.Random,
+    rng: Random,
     bandwidth: int,
     max_rounds: int,
 ) -> DistributedShortcutResult:

@@ -1,0 +1,5 @@
+"""RPR000 fixture: the file does not parse."""
+
+
+def broken(:
+    return None

@@ -1,0 +1,11 @@
+"""RPR001 true negatives: seeds threaded explicitly."""
+
+from random import Random
+
+from repro.rng import ensure_rng
+
+
+def sample(seed):
+    primary = ensure_rng(seed)
+    other = Random(seed)
+    return primary, other

@@ -1,0 +1,12 @@
+"""RPR001 true positives: OS-entropy fallbacks in library code."""
+
+from random import Random
+
+from repro.rng import ensure_rng
+
+
+def sample(rng=None):
+    primary = ensure_rng(None)
+    fallback = ensure_rng()
+    wild = Random()
+    return primary, fallback, wild

@@ -1,0 +1,8 @@
+"""RPR002 true negatives: an injected generator instance."""
+
+from random import Random
+
+
+def jitter(values, rng: Random):
+    rng.shuffle(values)
+    return rng.random()

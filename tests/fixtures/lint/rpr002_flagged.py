@@ -1,0 +1,10 @@
+"""RPR002 true positives: the hidden module-level random stream."""
+
+import random
+from random import shuffle
+
+
+def jitter(values):
+    shuffle(values)
+    random.shuffle(values)
+    return random.random()

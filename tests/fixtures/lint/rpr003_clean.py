@@ -1,0 +1,8 @@
+"""RPR003 true negatives: no wall-clock reads (sleep is not a read)."""
+
+import time
+
+
+def wait(rounds):
+    time.sleep(0)
+    return rounds

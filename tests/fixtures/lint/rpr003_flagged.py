@@ -1,0 +1,13 @@
+"""RPR003 true positives: wall-clock and OS-entropy reads."""
+
+import os
+import time
+import uuid
+
+
+def stamp():
+    now = time.time()
+    tick = time.perf_counter()
+    salt = os.urandom(8)
+    tag = uuid.uuid4()
+    return now, tick, salt, tag

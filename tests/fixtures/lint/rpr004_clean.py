@@ -1,0 +1,9 @@
+"""RPR004 true negatives: order-normalized set consumption."""
+
+
+def keep(xs):
+    a = sorted({3, 1, 2})
+    b = len(set(xs))
+    c = [x for x in sorted(set(xs))]
+    total = sum(x for x in set(xs))
+    return a, b, c, total

@@ -1,0 +1,9 @@
+"""RPR004 true positives: set iteration order escaping into sequences."""
+
+
+def leak(xs):
+    a = list({3, 1, 2})
+    b = tuple(set(xs))
+    c = [x for x in {1, 2}]
+    d = (y for y in set(xs))
+    return a, b, c, d

@@ -1,0 +1,15 @@
+"""RPR010 true negatives: constant or instance-owned algorithm ids."""
+
+
+class WellBehaved:
+    single_channel = True
+
+    def __init__(self):
+        self.algorithm_id = 7
+
+    def on_round(self, node, round_index):
+        node.send(0, "hop", {"r": round_index})
+        node.send(1, "hop", None, 7)
+        algorithm_id = self.algorithm_id
+        node.multicast([1, 2], "x", None, algorithm_id=algorithm_id)
+        node.broadcast("y", None, algorithm_id=self.algorithm_id)

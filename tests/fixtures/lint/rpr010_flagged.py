@@ -1,0 +1,12 @@
+"""RPR010 true positives: a single-channel class multiplexing channels."""
+
+
+class Multiplexer:
+    single_channel = True
+
+    def on_round(self, node, round_index):
+        for i in range(2):
+            node.send(0, "hop", {"i": i}, "chan-%d" % i)
+        node.multicast([1, 2], "x", None, algorithm_id="base-" + str(round_index))
+        channel = round_index + 1
+        node.broadcast("y", None, algorithm_id=channel)

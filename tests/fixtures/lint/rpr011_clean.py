@@ -1,0 +1,18 @@
+"""RPR011 true negatives: hook signatures matching the engine."""
+
+
+class SteadyAlgorithm:
+    pass
+
+
+class Steady(SteadyAlgorithm):
+    def on_crash(self, node):
+        return node
+
+    def on_recover(self, node):
+        return node
+
+
+class NotAnAlgorithm:
+    def on_crash(self, node, extra):
+        return extra

@@ -1,0 +1,13 @@
+"""RPR011 true positives: crash-hook overrides with the wrong shape."""
+
+
+class BrittleAlgorithm:
+    pass
+
+
+class Brittle(BrittleAlgorithm):
+    def on_crash(self, node, round_index):
+        return round_index
+
+    def on_recover(self, *nodes):
+        return nodes

@@ -1,0 +1,12 @@
+"""RPR012 true negatives: timers declared from setup-reachable code."""
+
+
+class UpFrontTimer:
+    def __init__(self):
+        self.wake_at_rounds = [1]
+
+    def on_start(self, node):
+        self._arm(node)
+
+    def _arm(self, node):
+        self.wake_at_rounds = [2, 4, 8]

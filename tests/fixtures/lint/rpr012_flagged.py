@@ -1,0 +1,9 @@
+"""RPR012 true positives: timers assigned after the engine snapshot."""
+
+
+class LateTimer:
+    def __init__(self):
+        self.wake_at_rounds = [1]
+
+    def on_message(self, node, message):
+        self.wake_at_rounds = [node.round + 4]

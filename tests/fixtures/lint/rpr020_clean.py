@@ -1,0 +1,19 @@
+"""RPR020 true negatives: module-level functions by reference."""
+
+import math
+
+
+def run_scale_cell(config):
+    return math.log2(config["n"])
+
+
+def run_quality_cell(config):
+    return config["quality"]
+
+
+CELL_RUNNERS = {
+    "scale": run_scale_cell,
+    "quality": run_quality_cell,
+}
+
+CELL_RUNNERS["alias"] = math.log2

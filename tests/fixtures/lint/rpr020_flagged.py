@@ -1,0 +1,26 @@
+"""RPR020 true positives: unpicklable cell-runner registrations."""
+
+import functools
+
+
+def _make_runner(scale):
+    def runner(config):
+        return config["n"] * scale
+    return runner
+
+
+made = _make_runner(2)
+
+
+def register_more(registry):
+    def local_runner(config):
+        return config
+    registry["local"] = local_runner
+    CELL_RUNNERS["closure"] = local_runner
+
+
+CELL_RUNNERS = {
+    "lambda": lambda config: config,
+    "partial": functools.partial(_make_runner, 3),
+    "factory-made": made,
+}

@@ -1,0 +1,12 @@
+"""RPR021 true negatives: constants and locals only."""
+
+SCALE_FACTOR = 4
+
+
+def run_pure_cell(config):
+    cache = {}
+    cache[config["n"]] = config["n"] * SCALE_FACTOR
+    return cache
+
+
+CELL_RUNNERS = {"pure": run_pure_cell}

@@ -1,0 +1,15 @@
+"""RPR021 true positives: cell runners touching mutable module globals."""
+
+cache = {}
+call_count = 0
+
+
+def run_cached_cell(config):
+    global call_count
+    call_count += 1
+    if config["n"] in cache:
+        return cache[config["n"]]
+    return None
+
+
+CELL_RUNNERS = {"cached": run_cached_cell}

@@ -1,0 +1,7 @@
+"""RPR090 true negative: a used, justified suppression."""
+
+from repro.rng import ensure_rng
+
+
+def scratch_rng():
+    return ensure_rng(None)  # repro: noqa[RPR001] fixture exercises a used suppression

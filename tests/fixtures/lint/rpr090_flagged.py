@@ -1,0 +1,5 @@
+"""RPR090 true positives: malformed, unknown-id, and stale suppressions."""
+
+SAFE = 1  # repro: noqa
+ALSO_SAFE = 2  # repro: noqa[RPR999] no such rule
+CLEAN = 3  # repro: noqa[RPR001] nothing to silence here

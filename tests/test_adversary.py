@@ -140,9 +140,9 @@ class TestDropAdversary:
 
     def test_rate_validation(self):
         with pytest.raises(ValueError):
-            DropAdversary(1.0)
+            DropAdversary(1.0, seed=1)
         with pytest.raises(ValueError):
-            DropAdversary(-0.1)
+            DropAdversary(-0.1, seed=1)
 
 
 class TestDuplicateAdversary:
