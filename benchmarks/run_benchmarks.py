@@ -11,7 +11,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--out BENCH.json]
         [--baseline OLD.json] [--repeat N] [--quick] [--only NAME]
-        [--check-latest] [--max-regression X]
+        [--include-1m] [--check-latest] [--max-regression X]
 
 With ``--baseline`` the report also contains per-workload speedup factors
 relative to the older file (``old_wall_s / wall_s``).  ``--quick`` runs only
@@ -566,6 +566,179 @@ def _bench_distributed_10k() -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# 100k-node tier: the bulk round kernels' home turf.  Per-node rounds at
+# this scale pay six-figure Python dispatch per round; every workload
+# here advances whole rounds as numpy array ops and doubles as an
+# at-scale exercise of one ported kernel (BFS, FloodMax, fleet,
+# aggregation).  All graphs come from ``lower_bound_instance`` — the hub
+# family's exact-diameter validation is quadratic and already takes
+# minutes at this size.
+# ----------------------------------------------------------------------
+def _bench_flood_100k() -> dict:
+    """Full BFS flood over a ~100k-node lower-bound instance."""
+    inst = lower_bound_instance(100_000, 6)
+    network = Network(inst.graph)
+    algorithm = DistributedBFS({0})
+    start = time.perf_counter()
+    metrics = network.run(algorithm)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "n": inst.graph.num_vertices,
+        "rounds": metrics.rounds,
+        "messages": metrics.messages_delivered,
+    }
+
+
+def _bench_leader_100k() -> dict:
+    """FloodMax leader election on a ~100k-node lower-bound instance."""
+    inst = lower_bound_instance(100_000, 6)
+    network = Network(inst.graph)
+    algorithm = FloodMax()
+    start = time.perf_counter()
+    metrics = network.run(algorithm)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "n": inst.graph.num_vertices,
+        "rounds": metrics.rounds,
+        "messages": metrics.messages_delivered,
+    }
+
+
+def _flood_label_components(num_pieces: int, piece_size: int) -> dict:
+    """Connected components by min/max-label flooding at bulk scale.
+
+    The classic distributed components algorithm: every vertex floods the
+    extremal id it has seen, converging per component in diameter rounds —
+    exactly FloodMax on a disconnected union, so the whole run rides the
+    bulk express kernel.  (The shortcut-consumer components of
+    ``components_10k`` is quadratic in its early Boruvka phases — every
+    singleton fragment is an aggregation instance — and infeasible at
+    this size; see ROADMAP.)  The label partition is checked against the
+    sequential traversal, making the workload a correctness canary too.
+    """
+    from repro.graphs.components import connected_components
+    from repro.graphs.generators import disjoint_union
+    from repro.congest.primitives.leader import read_leaders
+
+    graph = disjoint_union([
+        lower_bound_instance(piece_size, 6).graph for _ in range(num_pieces)
+    ])
+    network = Network(graph)
+    start = time.perf_counter()
+    metrics = network.run(FloodMax())
+    wall = time.perf_counter() - start
+    leaders = read_leaders(network)
+    by_label: dict[int, set] = {}
+    for v in range(graph.num_vertices):
+        by_label.setdefault(leaders[v], set()).add(v)
+    labels_ok = sorted(by_label.values(), key=min) == connected_components(graph)
+    return {
+        "wall_s": wall,
+        "n": graph.num_vertices,
+        "components": len(by_label),
+        "rounds": metrics.rounds,
+        "messages": metrics.messages_delivered,
+        "labels_ok": labels_ok,
+    }
+
+
+def _bench_components_100k() -> dict:
+    """Flood-label components over 40 disjoint ~2.5k-node pieces."""
+    return _flood_label_components(40, 2_500)
+
+
+def _bench_fleet_agg_100k() -> dict:
+    """Masked-BFS fleet + min-aggregation pipeline over a 100k instance.
+
+    Eight concurrent BFS trees grown over the intra-part link masks of
+    the instance's eight largest parts (long-path parts, so the trees are
+    deep), then a part-wise min convergecast over the same trees — the
+    two stages exercise the fleet and aggregation kernels back to back on
+    one network, composed via ``reset=False``.
+    """
+    import random
+
+    import numpy as np
+
+    from repro.congest.primitives.aggregation import PartAggregation
+    from repro.congest.primitives.concurrent_bfs import ConcurrentMaskedBFS
+    from repro.graphs.csr import CSRLinkMask
+
+    inst = lower_bound_instance(100_000, 6)
+    n = inst.graph.num_vertices
+    partition = Partition(inst.graph, inst.parts, validate=False)
+    largest = sorted(range(len(inst.parts)),
+                     key=lambda i: -len(inst.parts[i]))[:8]
+    labels = np.full(n, -1, dtype=np.int64)
+    for k, i in enumerate(largest):
+        labels[np.asarray(list(inst.parts[i]), dtype=np.int64)] = k
+    csr = inst.graph.csr()
+    tails = np.asarray([e[0] for e in csr.edge_list], dtype=np.int64)
+    heads = np.asarray([e[1] for e in csr.edge_list], dtype=np.int64)
+    masks = [
+        CSRLinkMask(csr, (labels[tails] == k) & (labels[heads] == k))
+        for k in range(8)
+    ]
+    rng = random.Random(5)
+    network = Network(inst.graph)
+    fleet = ConcurrentMaskedBFS(
+        [partition.leader(i) for i in largest], masks,
+        draw_random_delays(8, 4, rng), n,
+        [f"pa{i}_" for i in range(8)], n,
+        suppress_parent_echo=True, sparse_labels=True,
+    )
+    start = time.perf_counter()
+    m1 = network.run(fleet, reset=False, max_rounds=400_000)
+    values = [
+        {int(v): int(v) for v in np.flatnonzero(labels == k)}
+        for k in range(8)
+    ]
+    aggregation = PartAggregation(
+        masks, fleet.parent, values, "min",
+        delays=draw_random_delays(8, 4, rng),
+    )
+    m2 = network.run(aggregation, reset=False, max_rounds=400_000)
+    wall = time.perf_counter() - start
+    expected = [min(vals) for vals in values]
+    return {
+        "wall_s": wall,
+        "n": n,
+        "rounds": m1.rounds + m2.rounds,
+        "messages": m1.messages_delivered + m2.messages_delivered,
+        "results_ok": list(aggregation.results) == expected,
+    }
+
+
+# ----------------------------------------------------------------------
+# 1M-node tier: opt-in (--include-1m, or --only).  Feasible only through
+# the bulk kernels; network construction alone takes ~20s at this size,
+# so the tier stays out of the default sweep and the nightly lane enables
+# it via a workflow_dispatch input.
+# ----------------------------------------------------------------------
+def _bench_flood_1m() -> dict:
+    """Full BFS flood over a ~1M-node lower-bound instance."""
+    inst = lower_bound_instance(1_000_000, 6)
+    network = Network(inst.graph)
+    algorithm = DistributedBFS({0})
+    start = time.perf_counter()
+    metrics = network.run(algorithm)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "n": inst.graph.num_vertices,
+        "rounds": metrics.rounds,
+        "messages": metrics.messages_delivered,
+    }
+
+
+def _bench_components_1m() -> dict:
+    """Flood-label components over 40 disjoint ~25k-node pieces."""
+    return _flood_label_components(40, 25_000)
+
+
 CLASSIC_WORKLOADS: dict[str, Callable[[], dict]] = {
     "congestion_E2": _bench_congestion,
     "shortcut_trees_E9": _bench_shortcut_trees,
@@ -584,6 +757,15 @@ SCALE_WORKLOADS: dict[str, Callable[[], dict]] = {
     "scheduler_10k": _bench_scheduler_10k,
     "distributed_10k": _bench_distributed_10k,
     "components_10k": _bench_components_10k,
+    "flood_100k": _bench_flood_100k,
+    "leader_100k": _bench_leader_100k,
+    "components_100k": _bench_components_100k,
+    "fleet_agg_100k": _bench_fleet_agg_100k,
+}
+
+SCALE_1M_WORKLOADS: dict[str, Callable[[], dict]] = {
+    "flood_1m": _bench_flood_1m,
+    "components_1m": _bench_components_1m,
 }
 
 
@@ -609,7 +791,8 @@ def _git_rev() -> Optional[str]:
 
 
 def run_benchmarks(repeat: int = 1, quick: bool = False,
-                   only: Optional[list[str]] = None) -> dict:
+                   only: Optional[list[str]] = None,
+                   include_1m: bool = False) -> dict:
     """Run every workload ``repeat`` times and keep the best wall time.
 
     Workloads may return their own ``wall_s`` (measured around just the
@@ -620,13 +803,17 @@ def run_benchmarks(repeat: int = 1, quick: bool = False,
 
     ``only`` restricts the run to the named workloads (any tier) — the CI
     fault-smoke lane uses it to gate just ``fault_sweep_1k`` without
-    paying for the whole quick tier.
+    paying for the whole quick tier.  The 1M tier never runs implicitly:
+    it needs ``include_1m`` or an explicit ``--only`` naming.
     """
     workloads = dict(CLASSIC_WORKLOADS)
     if not quick:
         workloads.update(SCALE_WORKLOADS)
+        if include_1m:
+            workloads.update(SCALE_1M_WORKLOADS)
     if only:
-        everything = {**CLASSIC_WORKLOADS, **SCALE_WORKLOADS}
+        everything = {**CLASSIC_WORKLOADS, **SCALE_WORKLOADS,
+                      **SCALE_1M_WORKLOADS}
         unknown = [name for name in only if name not in everything]
         if unknown:
             raise SystemExit(
@@ -712,6 +899,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--only", action="append", metavar="NAME",
                         help="run only the named workload (repeatable; "
                              "any tier)")
+    parser.add_argument("--include-1m", action="store_true",
+                        help="add the opt-in 1M-node tier to the full sweep "
+                             "(the nightly lane enables this via a "
+                             "workflow_dispatch input)")
     parser.add_argument("--check-latest", action="store_true",
                         help="compare against the newest committed BENCH_*.json "
                              "and fail on regression")
@@ -720,7 +911,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     results = run_benchmarks(repeat=args.repeat, quick=args.quick,
-                             only=args.only)
+                             only=args.only, include_1m=args.include_1m)
     # Workloads that double as correctness canaries (mst_shortcut_1k's
     # Kruskal check, components_10k's label check, distributed spanning
     # flags) report boolean fields; a falsy one fails the run regardless

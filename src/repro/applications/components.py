@@ -39,6 +39,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+import numpy as np
+
 from ..congest.adversary import (
     RetryPolicy,
     make_fault_adversary,
@@ -207,18 +209,17 @@ def shortcut_connected_components(
         if not merged_any and not faulty:
             break
 
-    labels = [0] * n
-    smallest: dict[int, int] = {}
-    for v in range(n):
-        root = uf.find(v)
-        current = smallest.get(root)
-        if current is None or v < current:
-            smallest[root] = v
-    for v in range(n):
-        labels[v] = smallest[uf.find(v)]
+    # Canonical labels: smallest member id per fragment, via one find per
+    # vertex and a vectorized minimum over the root array.
+    roots = np.fromiter((uf.find(v) for v in range(n)), dtype=np.int64,
+                        count=n)
+    uniq, inv = np.unique(roots, return_inverse=True)
+    smallest = np.full(len(uniq), n, dtype=np.int64)
+    np.minimum.at(smallest, inv, np.arange(n, dtype=np.int64))
+    labels = smallest[inv].tolist()
     return ComponentsResult(
         labels=labels,
-        num_components=len(smallest),
+        num_components=len(uniq),
         phases=len(rounds_per_phase),
         total_rounds=sum(rounds_per_phase),
         rounds_per_phase=rounds_per_phase,

@@ -39,6 +39,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+import numpy as np
+
 from ..congest.adversary import (
     RetryPolicy,
     make_fault_adversary,
@@ -98,28 +100,52 @@ def node_crossing_candidates(
 
     The shared candidate step of both Boruvka-style consumers: MWOE
     selection keys edges by weight, component hooking by shared random
-    priorities.  Edge-major over the CSR edge list: every crossing edge is
-    a candidate for both endpoints, which halves the ``find`` calls of the
-    node-major formulation.  Nodes with no crossing edge carry no entry.
+    priorities.  Vectorized over the CSR endpoint arrays: one ``find`` per
+    vertex resolves every edge's crossing test at once, and the per-node
+    lexicographic ``(key, u, v)`` minimum is a ``np.lexsort`` followed by a
+    first-per-node cut.  Nodes with no crossing edge carry no entry; key
+    objects in the result are taken from ``edge_keys`` untouched (the
+    float64 comparison is exact for the float priorities and the modest
+    integer weights the consumers use).
 
     Args:
         graph: the host graph (its CSR edge list orders ``edge_keys``).
         uf: the current fragment structure.
         edge_keys: per-edge comparison key, indexed by edge id.
     """
-    candidates: dict[int, tuple[float, int, int]] = {}
+    csr = graph.csr()
+    if not csr.num_edges:
+        return {}
+    arrays = csr.adjacency_arrays()
+    eu, ev = arrays.edge_u, arrays.edge_v
     find = uf.find
-    for eid, (u, v) in enumerate(graph.csr().edge_list):
-        if find(u) == find(v):
-            continue
-        key = (edge_keys[eid], u, v)
-        current = candidates.get(u)
-        if current is None or key < current:
-            candidates[u] = key
-        current = candidates.get(v)
-        if current is None or key < current:
-            candidates[v] = key
-    return candidates
+    n = csr.num_vertices
+    roots = np.fromiter((find(x) for x in range(n)), dtype=np.int64, count=n)
+    cross = np.flatnonzero(roots[eu] != roots[ev])
+    if not len(cross):
+        return {}
+    keys = np.asarray(edge_keys, dtype=np.float64)[cross]
+    cu = eu[cross]
+    cv = ev[cross]
+    # Both endpoints of a crossing edge are candidates: duplicate the rows
+    # and take the lexicographic minimum per endpoint.
+    nodes = np.concatenate((cu, cv))
+    k2 = np.concatenate((keys, keys))
+    u2 = np.concatenate((cu, cu))
+    v2 = np.concatenate((cv, cv))
+    e2 = np.concatenate((cross, cross))
+    order = np.lexsort((v2, u2, k2, nodes))
+    ns = nodes[order]
+    first = np.ones(len(ns), dtype=bool)
+    first[1:] = ns[1:] != ns[:-1]
+    sel = order[first]
+    return {
+        node: (edge_keys[eid], u, v)
+        for node, eid, u, v in zip(
+            ns[first].tolist(), e2[sel].tolist(),
+            u2[sel].tolist(), v2[sel].tolist(),
+        )
+    }
 
 
 def shortcut_boruvka_mst(

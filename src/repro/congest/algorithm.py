@@ -120,6 +120,48 @@ class DistributedAlgorithm(ABC):
         """
         return node.halted
 
+    # ------------------------------------------------------------------
+    # Bulk round protocol (optional; see repro.congest.bulk)
+    # ------------------------------------------------------------------
+
+    #: Declares that the algorithm *may* provide a vectorized whole-round
+    #: kernel.  When set, ``Network.run`` asks :meth:`bulk_supported` /
+    #: :meth:`bulk_kernel` on a clean (non-adversarial, non-composed,
+    #: fresh-queue) run and, if a kernel is returned, advances rounds with
+    #: flat array ops over the CSR link ids instead of per-node callbacks.
+    #: The per-node path remains authoritative: kernels are pinned
+    #: bit-identical to it (rounds, messages, per-edge traffic, final node
+    #: state) by ``tests/test_bulk_kernels.py``.
+    bulk_capable: bool = False
+
+    #: Names of the flat state arrays a bulk kernel maintains; the kernel
+    #: class re-declares the tuple and the ``repro lint`` rule RPR013 flags
+    #: ``bulk_round`` implementations mutating attributes outside it.
+    bulk_state: tuple = ()
+
+    def bulk_supported(self) -> bool:
+        """Return ``True`` when this *configuration* is bulk-eligible.
+
+        A ``bulk_capable`` class may still decline at runtime — e.g. the
+        retry/ack mode re-introduces per-node timer logic no flat kernel
+        models.  The engine warns (once per network and reason) when a
+        capable algorithm declines, so silent per-node fallbacks are
+        observable.
+        """
+        return False
+
+    def bulk_kernel(self, network) -> Optional[object]:
+        """Build and return the vectorized kernel for ``network``, or ``None``.
+
+        Called only when :meth:`bulk_supported` is true; returning ``None``
+        (e.g. a size guard against packed-key overflow) silently falls back
+        to the per-node path.  The returned object implements the driver
+        contract of ``Network._run_bulk``: ``next_round(after)``,
+        ``bulk_round(rnd)``, ``finalize(terminated, final_round)`` and the
+        metric accessors.
+        """
+        return None
+
     def on_crash(self, node: NodeContext) -> None:
         """Hook: ``node`` is about to crash (its state is wiped right after).
 

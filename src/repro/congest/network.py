@@ -57,11 +57,13 @@ A round costs O(nodes-and-links-actually-touched), not O(n + links):
 from __future__ import annotations
 
 import heapq
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..graphs.graph import Graph
 from .algorithm import ComposedAlgorithm, DistributedAlgorithm
+from .bulk import BulkFallbackWarning
 from .message import Message
 from .node import NodeContext
 
@@ -207,6 +209,9 @@ class Network:
         self._wiring_csr = None
         self._ran = False
         self._structures_clean = True
+        # (network, reason) pairs already warned about a declined bulk run;
+        # deliberately not cleared by reset() so each network warns once.
+        self._bulk_fallback_warned: set[str] = set()
         self.reset()
 
     @property
@@ -357,6 +362,10 @@ class Network:
             )
         if reset and self._ran:
             self.reset()
+        if getattr(algorithm, "bulk_capable", False):
+            bulk = self._try_bulk(algorithm, max_rounds, raise_on_limit)
+            if bulk is not None:
+                return bulk
         metrics = RunMetrics()
         metrics._edge_counts = [0] * self._csr.num_edges
         metrics._edge_list = self._csr.edge_list
@@ -537,6 +546,80 @@ class Network:
         return metrics
 
     # ------------------------------------------------------------------
+    # bulk execution (vectorized whole-round kernels; see repro.congest.bulk)
+    # ------------------------------------------------------------------
+    def _warn_bulk_fallback(self, algorithm, reason: str) -> None:
+        if reason in self._bulk_fallback_warned:
+            return
+        self._bulk_fallback_warned.add(reason)
+        warnings.warn(
+            f"bulk-capable algorithm {algorithm.name!r} falling back to the "
+            f"per-node path ({reason})",
+            BulkFallbackWarning,
+            stacklevel=4,
+        )
+
+    def _try_bulk(self, algorithm, max_rounds: int, raise_on_limit: bool):
+        """Attempt a vectorized run; ``None`` means use the per-node path.
+
+        Declined configurations (retry mode) warn once per network so the
+        de-optimization is observable; dirty queues and kernel build guards
+        (packed-key overflow) fall back silently — they are per-run
+        conditions, not configuration mistakes.
+        """
+        if not algorithm.bulk_supported():
+            if getattr(algorithm, "retry", None) is not None:
+                self._warn_bulk_fallback(algorithm, "retry")
+            return None
+        if self._active or self._pending_receivers or not self._structures_clean:
+            return None
+        kernel = algorithm.bulk_kernel(self)
+        if kernel is None:
+            return None
+        return self._run_bulk(algorithm, kernel, max_rounds, raise_on_limit)
+
+    def _run_bulk(self, algorithm, kernel, max_rounds: int, raise_on_limit: bool) -> RunMetrics:
+        """Drive a bulk kernel round by round.
+
+        The kernel owns all round work; this driver only reproduces the
+        per-node loop's round accounting: round 0 is ``start`` (the
+        per-node ``initialize``), each event round executes via
+        ``bulk_round``, silent stretches are skipped (the per-node engine
+        charges them without executing), and a kernel reporting no further
+        events terminates with the round count of the last event.
+        """
+        metrics = RunMetrics()
+        self._ran = True
+        kernel.start(max_rounds)
+        rnd = 0
+        terminated = False
+        while True:
+            nxt = kernel.next_round(rnd)
+            if nxt is None:
+                terminated = rnd < max_rounds
+                break
+            if nxt > max_rounds:
+                rnd = max_rounds
+                break
+            rnd = nxt
+            kernel.bulk_round(rnd)
+            if rnd >= max_rounds:
+                break
+        kernel.finish(self, metrics, terminated, rnd)
+        metrics.rounds = rnd
+        metrics.terminated = terminated
+        # Queues were never touched, so the network stays cheap-resettable;
+        # only the per-link maxima the kernel wrote back need clearing then.
+        self._structures_clean = True
+        if not terminated and raise_on_limit:
+            raise RoundLimitExceeded(
+                f"algorithm {algorithm.name!r} did not terminate within {max_rounds} rounds",
+                metrics=metrics,
+                last_active_set=kernel.awake_at_cutoff(rnd),
+            )
+        return metrics
+
+    # ------------------------------------------------------------------
     # adversarial execution
     # ------------------------------------------------------------------
     def _run_adversarial(
@@ -563,6 +646,10 @@ class Network:
         * hitting ``max_rounds`` raises :class:`PartialRunError` carrying
           the partial metrics.
         """
+        if getattr(algorithm, "bulk_capable", False) and algorithm.bulk_supported():
+            # A bulk-eligible configuration takes the per-node path under an
+            # adversary (the delivery interposition point is per-message).
+            self._warn_bulk_fallback(algorithm, "adversary")
         if reset and self._ran:
             self.reset()
         metrics = RunMetrics()

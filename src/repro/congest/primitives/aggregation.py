@@ -172,12 +172,50 @@ class PartAggregation(DistributedAlgorithm):
         # plus any node holding an input value (covers isolated singleton
         # parts, whose mask is empty).  node -> ascending [(delay, idx)].
         pending: dict[int, list[tuple[int, int]]] = {}
-        for idx in range(num):
-            participants = set(self.masks[idx].targets)
-            participants.update(self.values[idx])
-            delay = self.delays[idx]
-            for v in participants:
-                pending.setdefault(v, []).append((delay, idx))
+        done_scan = False
+        if num:
+            # One global scan instead of a per-instance unique: mask
+            # targets and value holders pack into ``idx * n + v`` keys and
+            # a single unique yields every (instance, participant) pair at
+            # once (the lazy list views are never forced).  Exotic value
+            # keys (non-int or out of vertex range) use the slow loop.
+            n = max(mask.num_vertices for mask in self.masks)
+            try:
+                vkeys: list[int] = []
+                for idx, vals in enumerate(self.values):
+                    base = idx * n
+                    for v in vals:
+                        if type(v) is not int or not 0 <= v < n:
+                            raise ValueError
+                        vkeys.append(base + v)
+                targets = [self.masks[idx].arrays()[1] for idx in range(num)]
+                cnt = np.asarray([len(t) for t in targets], dtype=np.int64)
+                mkeys = np.concatenate(targets) + np.repeat(
+                    np.arange(num, dtype=np.int64) * n, cnt
+                )
+                all_keys = np.unique(np.concatenate(
+                    (mkeys, np.asarray(vkeys, dtype=np.int64))
+                ))
+                insts, verts = np.divmod(all_keys, n)
+                pairs = [(self.delays[idx], idx) for idx in range(num)]
+                setd = pending.setdefault
+                for i, v in zip(insts.tolist(), verts.tolist()):
+                    setd(v, []).append(pairs[i])
+                done_scan = True
+            except (TypeError, ValueError, OverflowError):
+                pending.clear()
+        if num and not done_scan:
+            for idx in range(num):
+                members = np.unique(self.masks[idx].arrays()[1]).tolist()
+                vals = self.values[idx]
+                if vals:
+                    extras = set(vals).difference(members)
+                    if extras:
+                        members.extend(extras)
+                delay = self.delays[idx]
+                pair = (delay, idx)
+                for v in members:
+                    pending.setdefault(v, []).append(pair)
         for lst in pending.values():
             lst.sort()
         self._pending = pending
@@ -193,6 +231,19 @@ class PartAggregation(DistributedAlgorithm):
             ))
             self._tags_rel = [intern(p + "rel") for p in prefixes]
             self._channel = ReliableChannel(num, self._tags_rel)
+
+    # ------------------------------------------------------------------
+    bulk_capable = True
+
+    def bulk_supported(self) -> bool:
+        # The retry channel interleaves acks with payload traffic; only the
+        # plain fire-and-forget configuration vectorizes.
+        return self.retry is None
+
+    def bulk_kernel(self, network):
+        from ..bulk import PartAggregationKernel
+
+        return PartAggregationKernel.build(self, network)
 
     # ------------------------------------------------------------------
     def _link_to(self, idx: int, v: int, target: int) -> int:

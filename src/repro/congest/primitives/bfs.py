@@ -112,6 +112,20 @@ class DistributedBFS(DistributedAlgorithm):
             self._unacked = 0
 
     # ------------------------------------------------------------------
+    bulk_capable = True
+
+    def bulk_supported(self) -> bool:
+        # Retry mode re-introduces per-node checkpoint logic; a dict-of-sets
+        # adjacency keeps per-node filtered lists.  A CSR ``allowed_links``
+        # mask (or no restriction) vectorizes.
+        return self.retry is None and self.allowed_adjacency is None
+
+    def bulk_kernel(self, network):
+        from ..bulk import BFSKernel
+
+        return BFSKernel.build(self, network)
+
+    # ------------------------------------------------------------------
     def _allowed_neighbors(self, node: NodeContext) -> list[int]:
         # Cached per node (under this BFS's prefix): the filtered neighbour
         # list is re-announced on every distance improvement, so rebuilding

@@ -164,6 +164,18 @@ class ConcurrentMaskedBFS(DistributedAlgorithm):
             self._unacked = 0
 
     # ------------------------------------------------------------------
+    bulk_capable = True
+
+    def bulk_supported(self) -> bool:
+        # Retry/ack mode keeps per-node checkpoint bookkeeping.
+        return self.retry is None
+
+    def bulk_kernel(self, network):
+        from ..bulk import FleetKernel
+
+        return FleetKernel.build(self, network)
+
+    # ------------------------------------------------------------------
     def _start(self, idx: int, node: NodeContext) -> None:
         v = node.node_id
         self.dist[idx][v] = 0

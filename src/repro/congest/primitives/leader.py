@@ -78,6 +78,19 @@ class FloodMax(DistributedAlgorithm):
     def _participates(self, node: NodeContext) -> bool:
         return self.allowed_adjacency is None or node.node_id in self.allowed_adjacency
 
+    # ------------------------------------------------------------------
+    bulk_capable = True
+
+    def bulk_supported(self) -> bool:
+        # A restricted adjacency keeps per-node filtered neighbour lists;
+        # only the all-participate configuration vectorizes.
+        return self.allowed_adjacency is None
+
+    def bulk_kernel(self, network):
+        from ..bulk import FloodMaxKernel
+
+        return FloodMaxKernel.build(self, network)
+
     def initialize(self, node: NodeContext) -> None:
         if self._participates(node):
             node.state[self._key_leader] = node.node_id

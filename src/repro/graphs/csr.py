@@ -176,10 +176,14 @@ class AdjacencyArrays:
             for ``hi -> lo``, the CONGEST engine's convention.
         edge_u / edge_v: endpoint arrays of the canonical edge list, indexed
             by edge id (``edge_u < edge_v``).
+        edge_positions: ``(m, 2)`` table of each edge's two adjacency
+            positions (ascending), computed lazily on first use — the
+            inverse of ``edge_ids`` that lets a mask over ``k`` edges
+            resolve its adjacency entries in ``O(k log k)``.
     """
 
     __slots__ = ("num_vertices", "indices", "edge_ids", "rows", "adj_link_ids",
-                 "edge_u", "edge_v")
+                 "edge_u", "edge_v", "_edge_positions")
 
     def __init__(self, csr: CSRGraph) -> None:
         self.num_vertices = csr.num_vertices
@@ -199,6 +203,18 @@ class AdjacencyArrays:
         else:
             self.edge_u = np.empty(0, dtype=np.int64)
             self.edge_v = np.empty(0, dtype=np.int64)
+        self._edge_positions = None
+
+    @property
+    def edge_positions(self) -> np.ndarray:
+        table = self._edge_positions
+        if table is None:
+            # Every edge id appears exactly twice in ``edge_ids``; a stable
+            # argsort groups the pairs in ascending-position order.
+            table = self._edge_positions = np.argsort(
+                self.edge_ids, kind="stable"
+            ).reshape(-1, 2)
+        return table
 
 
 class CSRLinkMask:
@@ -217,7 +233,7 @@ class CSRLinkMask:
     the subgraph" is expressed.
     """
 
-    __slots__ = ("num_vertices", "starts", "targets", "links")
+    __slots__ = ("num_vertices", "_starts", "_targets", "_links", "_np")
 
     def __init__(self, csr: CSRGraph, link_permits: np.ndarray) -> None:
         arrays = csr.adjacency_arrays()
@@ -233,29 +249,76 @@ class CSRLinkMask:
                 f"{csr.num_edges} (per edge) or {2 * csr.num_edges} (per "
                 f"directed link)"
             )
+        self._init_from_positions(csr, pos, arrays)
+
+    def _init_from_positions(self, csr: CSRGraph, pos, arrays) -> None:
         n = csr.num_vertices
         self.num_vertices = n
-        # Bulk tolist: per-announce numpy slicing + tolist costs ~2us per
-        # touched node, which dominates a BFS flood; Python list slices do
-        # not.
-        self.targets: list[int] = arrays.indices[pos].tolist()
-        self.links: list[int] = arrays.adj_link_ids[pos].tolist()
-        self.starts: list[int] = np.searchsorted(
-            arrays.rows[pos], np.arange(n + 1, dtype=np.int64)
-        ).tolist()
+        targets_np = arrays.indices[pos]
+        links_np = arrays.adj_link_ids[pos]
+        starts_np = np.searchsorted(arrays.rows[pos], np.arange(n + 1, dtype=np.int64))
+        # The construction has the flat arrays in hand; keep them for the
+        # bulk round kernels (repro.congest.bulk), which index the mask with
+        # vectorized gathers instead of per-node list slices.
+        self._np = (starts_np, targets_np.astype(np.int64, copy=False),
+                    links_np.astype(np.int64, copy=False))
+        # The list views materialize lazily: a fleet of small masks consumed
+        # only by the bulk kernels never pays the O(n) tolist per mask.
+        self._starts = None
+        self._targets = None
+        self._links = None
+
+    # Bulk tolist: per-announce numpy slicing + tolist costs ~2us per
+    # touched node, which dominates a BFS flood; Python list slices do not.
+    @property
+    def starts(self) -> list[int]:
+        lst = self._starts
+        if lst is None:
+            lst = self._starts = self._np[0].tolist()
+        return lst
+
+    @property
+    def targets(self) -> list[int]:
+        lst = self._targets
+        if lst is None:
+            lst = self._targets = self._np[1].tolist()
+        return lst
+
+    @property
+    def links(self) -> list[int]:
+        lst = self._links
+        if lst is None:
+            lst = self._links = self._np[2].tolist()
+        return lst
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(starts, targets, links)`` as int64 numpy arrays.
+
+        The arrays view the same permit structure as the list fields; they
+        are cached at construction, so repeated kernel builds over one mask
+        pay the conversion once.
+        """
+        return self._np
 
     # ------------------------------------------------------------------
     @classmethod
     def from_edge_ids(cls, csr: CSRGraph, edge_ids: Iterable[int]) -> "CSRLinkMask":
-        """Build a mask permitting both directions of the given edge ids."""
-        permit_edges = np.zeros(csr.num_edges, dtype=bool)
+        """Build a mask permitting both directions of the given edge ids.
+
+        Sub-linear in the host graph: the adjacency positions of the listed
+        edges resolve through the cached per-edge position table, so a
+        fleet of small masks never scans the full permit array per mask.
+        """
         if isinstance(edge_ids, np.ndarray):
             ids = edge_ids.astype(np.int64, copy=False)
         else:
             seq = edge_ids if hasattr(edge_ids, "__len__") else list(edge_ids)
             ids = np.fromiter(seq, dtype=np.int64, count=len(seq))
-        permit_edges[ids] = True
-        return cls(csr, permit_edges)
+        arrays = csr.adjacency_arrays()
+        pos = np.sort(arrays.edge_positions[ids].ravel())
+        mask = cls.__new__(cls)
+        mask._init_from_positions(csr, pos, arrays)
+        return mask
 
     @classmethod
     def intra_partition(cls, csr: CSRGraph, labels: np.ndarray) -> "CSRLinkMask":

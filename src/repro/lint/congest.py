@@ -1,4 +1,4 @@
-"""CONGEST protocol rules (RPR010-RPR012).
+"""CONGEST protocol rules (RPR010-RPR013).
 
 The round engine trusts three structural declarations an algorithm class
 makes, and silently produces wrong metrics (or wrong runs) when the code
@@ -20,6 +20,12 @@ drifts from them.  Each rule mechanizes one declaration:
   silently changes nothing.  Writes are allowed only in ``__init__`` /
   ``on_start`` / ``initialize`` and helpers reachable from them via
   ``self.<method>()`` calls.
+* RPR013 — a bulk kernel declares its mutable round state in
+  ``bulk_state``; the equivalence oracle resets/compares exactly those
+  attributes, so a ``bulk_round`` (or any helper reachable from it)
+  rebinding an undeclared ``self.<attr>`` mutates state the oracle never
+  sees.  Element stores into declared arrays are fine — the rule flags
+  attribute *rebinding* only.
 """
 
 from __future__ import annotations
@@ -202,3 +208,70 @@ def _is_self_wake_attr(node: ast.expr) -> bool:
             and node.attr == "wake_at_rounds"
             and isinstance(node.value, ast.Name)
             and node.value.id == "self")
+
+
+def _declared_bulk_state(cls: ast.ClassDef) -> Optional[frozenset]:
+    """The class-level ``bulk_state`` tuple of string names, if declared."""
+    for stmt in cls.body:
+        targets: list[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "bulk_state":
+                try:
+                    names = ast.literal_eval(value)
+                except (ValueError, TypeError):
+                    return None
+                if (isinstance(names, tuple)
+                        and all(isinstance(n, str) for n in names)):
+                    return frozenset(names)
+                return None
+    return None
+
+
+@rule(
+    "RPR013", "bulk-state-declared",
+    description=(
+        "a bulk kernel's round code may only rebind `self.<attr>` names "
+        "listed in its `bulk_state` tuple — the bulk≡per-node equivalence "
+        "oracle tracks exactly the declared state, so undeclared writes "
+        "escape it"
+    ),
+)
+def check_bulk_state_declared(module: ModuleContext) -> Iterator[Finding]:
+    for cls in module.classes():
+        declared = _declared_bulk_state(cls)
+        if declared is None:
+            continue
+        methods = class_methods(cls)
+        if "bulk_round" not in methods:
+            continue
+        reachable = {"bulk_round"}
+        frontier = ["bulk_round"]
+        while frontier:
+            for callee in self_calls(methods[frontier.pop()]):
+                if callee in methods and callee not in reachable:
+                    reachable.add(callee)
+                    frontier.append(callee)
+        for name in sorted(reachable):
+            for node in ast.walk(methods[name]):
+                targets: list[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                            and target.attr not in declared):
+                        yield module.finding(
+                            node, "RPR013",
+                            f"{cls.name}.{name} rebinds self.{target.attr} "
+                            "from bulk-round code but the attribute is not "
+                            "in `bulk_state`; declare it or keep the "
+                            "mutation out of the round path",
+                        )

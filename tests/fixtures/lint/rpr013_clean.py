@@ -1,0 +1,21 @@
+"""RPR013 true negatives: declared rebinds, element stores, setup writes."""
+
+
+class TidyKernel:
+    bulk_state = ("pending", "sent", "edge_counts")
+
+    def __init__(self):
+        self.pending = []
+        self.sent = 0
+        self.cursor = 0
+
+    def bulk_round(self, rnd):
+        self.sent += 1
+        self.edge_counts[rnd] = self.sent
+        self._advance(rnd)
+
+    def _advance(self, rnd):
+        self.pending = [rnd]
+
+    def finish(self, network):
+        self.cursor = 0

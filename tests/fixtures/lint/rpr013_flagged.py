@@ -1,0 +1,14 @@
+"""RPR013 true positives: round code rebinding undeclared kernel state."""
+
+
+class LeakyKernel:
+    bulk_state = ("pending", "sent")
+
+    def bulk_round(self, rnd):
+        self.sent += 1
+        self.cursor = rnd
+        self._advance(rnd)
+
+    def _advance(self, rnd):
+        self.pending = []
+        self.delivered += 2

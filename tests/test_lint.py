@@ -58,6 +58,7 @@ FLAGGED = [
     ("rpr010_flagged", "RPR010", [9, 10, 12]),
     ("rpr011_flagged", "RPR011", [9, 12]),
     ("rpr012_flagged", "RPR012", [9]),
+    ("rpr013_flagged", "RPR013", [9, 14]),
     ("rpr020_flagged", "RPR020", [19, 23, 24, 25]),
     ("rpr021_flagged", "RPR021", [8, 10, 11]),
 ]
@@ -70,6 +71,7 @@ CLEAN = [
     ("rpr010_clean", "RPR010"),
     ("rpr011_clean", "RPR011"),
     ("rpr012_clean", "RPR012"),
+    ("rpr013_clean", "RPR013"),
     ("rpr020_clean", "RPR020"),
     ("rpr021_clean", "RPR021"),
 ]
